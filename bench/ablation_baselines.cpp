@@ -1,0 +1,61 @@
+// Ablation / positioning: every SSSP algorithm in the repository on the
+// same workloads — ACIC, RIKEN-style 2-D hybrid Δ-stepping, 1-D
+// Δ-stepping, KLA, distributed control, and the §II.A asynchronous
+// baseline.  This is the panorama of the paper's related-work section.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acic;
+  const util::Options opts(argc, argv);
+  const auto scale =
+      static_cast<std::uint32_t>(opts.get_int("scale", 13));
+  const auto nodes =
+      static_cast<std::uint32_t>(opts.get_int("nodes", 4));
+  const auto trials =
+      static_cast<std::uint32_t>(opts.get_int("trials", 3));
+
+  std::printf("All algorithms on the paper workloads (scale=%u, %u "
+              "mini-nodes, %u trials)\n", scale, nodes, trials);
+
+  const stats::Algo algos[] = {
+      stats::Algo::kAcic,         stats::Algo::kRiken,
+      stats::Algo::kDelta1D,      stats::Algo::kKla,
+      stats::Algo::kDistControl,  stats::Algo::kAsyncBaseline,
+  };
+
+  util::Table table({"graph", "algorithm", "time_s", "updates_created",
+                     "wasted_pct", "sync_cycles"});
+  for (const stats::GraphKind kind :
+       {stats::GraphKind::kRandom, stats::GraphKind::kRmat}) {
+    for (const stats::Algo algo : algos) {
+      double time_s = 0.0;
+      double created = 0.0;
+      double wasted = 0.0;
+      double cycles = 0.0;
+      for (std::uint32_t trial = 0; trial < trials; ++trial) {
+        stats::ExperimentSpec spec;
+        spec.graph = kind;
+        spec.scale = scale;
+        spec.nodes = nodes;
+        spec.seed = util::derive_seed(37, trial);
+        const auto outcome = stats::run_experiment(algo, spec);
+        time_s += outcome.sssp.metrics.sim_time_s();
+        created += static_cast<double>(outcome.sssp.metrics.updates_created);
+        wasted += outcome.sssp.metrics.wasted_fraction();
+        cycles += static_cast<double>(outcome.cycles);
+      }
+      table.add_row({stats::graph_kind_name(kind), stats::algo_name(algo),
+                     util::strformat("%.5f", time_s / trials),
+                     util::strformat("%.0f", created / trials),
+                     util::strformat("%.1f%%", 100.0 * wasted / trials),
+                     util::strformat("%.0f", cycles / trials)});
+    }
+  }
+  table.print();
+  bench::write_csv(table, opts, "ablation_baselines.csv");
+  return 0;
+}

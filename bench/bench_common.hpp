@@ -1,0 +1,75 @@
+#pragma once
+// Helpers shared by the figure-reproduction bench binaries: option
+// parsing into CompareSpec/ExperimentSpec, progress printing, CSV output.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/stats/compare.hpp"
+#include "src/stats/experiment.hpp"
+#include "src/util/options.hpp"
+#include "src/util/table.hpp"
+
+namespace acic::bench {
+
+inline std::vector<std::uint32_t> parse_list(const std::string& csv) {
+  std::vector<std::uint32_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) {
+      out.push_back(static_cast<std::uint32_t>(std::stoul(tok)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+inline stats::CompareSpec compare_spec_from_options(
+    const util::Options& opts) {
+  stats::CompareSpec spec;
+  spec.scale =
+      static_cast<std::uint32_t>(opts.get_int("scale", spec.scale));
+  spec.edge_factor = static_cast<std::uint32_t>(
+      opts.get_int("edge-factor", spec.edge_factor));
+  spec.trials =
+      static_cast<std::uint32_t>(opts.get_int("trials", spec.trials));
+  spec.base_seed =
+      static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  if (opts.has("nodes")) {
+    spec.nodes_list = parse_list(opts.get("nodes", ""));
+  }
+  spec.buffer_override =
+      static_cast<std::size_t>(opts.get_int("buffer", 0));
+  spec.full_scale_nodes = opts.get_bool("full-nodes", false);
+  return spec;
+}
+
+inline void print_spec(const stats::CompareSpec& spec) {
+  std::printf(
+      "  scale=%u (|V|=%u, |E|=%u*|V|), trials=%u, nodes={", spec.scale,
+      1u << spec.scale, spec.edge_factor, spec.trials);
+  for (std::size_t i = 0; i < spec.nodes_list.size(); ++i) {
+    std::printf("%s%u", i ? "," : "", spec.nodes_list[i]);
+  }
+  std::printf("}  [paper: scale=26, 10 trials, real Delta/Frontier nodes]\n");
+}
+
+inline void progress_line(const char* line) {
+  std::printf("%s\n", line);
+  std::fflush(stdout);
+}
+
+inline void write_csv(const util::Table& table, const util::Options& opts,
+                      const std::string& default_name) {
+  const std::string path = opts.get("csv", default_name);
+  if (table.write_csv(path)) {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+}  // namespace acic::bench

@@ -1,0 +1,65 @@
+// Figure 5: effect of the priority-queue percentile p_pq on ACIC runtime
+// (random graph, one node).
+//
+// Paper shape to reproduce: a *low* p_pq (0.05) is optimal — admitting
+// only the lowest-distance updates into pq and parking the rest in
+// pq_hold suppresses the generation of updates from sub-optimal
+// distances, visibly shrinking updates_created as p_pq decreases.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acic;
+  const util::Options opts(argc, argv);
+
+  stats::ExperimentSpec spec;
+  spec.graph = stats::GraphKind::kRandom;
+  spec.scale = static_cast<std::uint32_t>(opts.get_int("scale", 13));
+  spec.nodes = static_cast<std::uint32_t>(
+      opts.get_int("nodes", 6));  // 6 mini-nodes = 48 PEs, the paper's node
+  const auto trials =
+      static_cast<std::uint32_t>(opts.get_int("trials", 3));
+
+  std::printf("Figure 5: p_pq sweep on a random graph (scale=%u, %u "
+              "node(s), %u trials)  [paper: 0.05..0.999, optimum 0.05]\n",
+              spec.scale, spec.nodes, trials);
+
+  util::Table table({"p_pq", "time_s", "updates_created", "superseded"});
+  double best_time = 1e300;
+  double best_p = 0.0;
+  for (const double p :
+       {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.999}) {
+    double time_s = 0.0;
+    double created = 0.0;
+    double superseded = 0.0;
+    for (std::uint32_t trial = 0; trial < trials; ++trial) {
+      spec.seed = util::derive_seed(13, trial);
+      stats::AlgoParams params;
+      params.acic.p_pq = p;
+      const auto outcome =
+          stats::run_experiment(stats::Algo::kAcic, spec, params);
+      time_s += outcome.sssp.metrics.sim_time_s();
+      created += static_cast<double>(outcome.sssp.metrics.updates_created);
+      superseded +=
+          static_cast<double>(outcome.sssp.metrics.updates_superseded);
+    }
+    time_s /= trials;
+    created /= trials;
+    superseded /= trials;
+    if (time_s < best_time) {
+      best_time = time_s;
+      best_p = p;
+    }
+    table.add_row({util::strformat("%.3f", p),
+                   util::strformat("%.5f", time_s),
+                   util::strformat("%.0f", created),
+                   util::strformat("%.0f", superseded)});
+  }
+  table.print();
+  std::printf("optimal p_pq here: %.3f (paper: 0.05)\n", best_p);
+  bench::write_csv(table, opts, "fig5_ppq_sweep.csv");
+  return 0;
+}

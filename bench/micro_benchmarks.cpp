@@ -1,0 +1,201 @@
+// google-benchmark micro suite: wall-clock throughput of the library's
+// hot substrates — event loop, tram aggregation, reductions, graph
+// generation, sequential SSSP kernels.  These measure the *simulator's*
+// real performance (how fast experiments run on the host), complementing
+// the fig*/ablation harnesses which measure *simulated* time.
+
+#include <benchmark/benchmark.h>
+
+#include "src/baselines/sequential.hpp"
+#include "src/core/histogram.hpp"
+#include "src/core/thresholds.hpp"
+#include "src/graph/generators.hpp"
+#include "src/runtime/collectives.hpp"
+#include "src/runtime/machine.hpp"
+#include "src/tram/tram.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace acic;
+using runtime::Machine;
+using runtime::Pe;
+using runtime::PeId;
+using runtime::Topology;
+
+void BM_MachineEventThroughput(benchmark::State& state) {
+  const auto events = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Machine machine(Topology::tiny(4));
+    std::uint64_t executed = 0;
+    for (std::uint64_t i = 0; i < events; ++i) {
+      machine.schedule_at(static_cast<double>(i), i % 4,
+                          [&executed](Pe&) { ++executed; });
+    }
+    machine.run();
+    benchmark::DoNotOptimize(executed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_MachineEventThroughput)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    Machine machine(Topology{2, 1, 1});
+    int bounces = 0;
+    std::function<void(Pe&)> bounce = [&](Pe& pe) {
+      if (++bounces >= 100) return;
+      pe.send(1 - pe.id(), 64, [&](Pe& other) { bounce(other); });
+    };
+    machine.schedule_at(0.0, 0, [&](Pe& pe) { bounce(pe); });
+    machine.run();
+    benchmark::DoNotOptimize(bounces);
+  }
+  state.SetItemsProcessed(100 * state.iterations());
+}
+BENCHMARK(BM_MessageRoundTrip);
+
+void BM_TramInsertFlush(benchmark::State& state) {
+  const auto items = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Machine machine(Topology{1, 2, 4});
+    std::uint64_t delivered = 0;
+    tram::TramConfig config;
+    config.buffer_items = 256;
+    tram::Tram<std::uint64_t> tram(
+        machine, config,
+        [&delivered](Pe&, const std::uint64_t&) { ++delivered; });
+    machine.schedule_at(0.0, 0, [&](Pe& pe) {
+      for (std::uint64_t i = 0; i < items; ++i) {
+        tram.insert(pe, static_cast<PeId>(i % machine.num_pes()), i);
+      }
+      tram.flush_all(pe);
+    });
+    machine.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(items) *
+                          state.iterations());
+}
+BENCHMARK(BM_TramInsertFlush)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ReductionCycle(benchmark::State& state) {
+  const auto pes = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Machine machine(Topology::tiny(pes));
+    runtime::Reducer reducer(
+        machine, 8,
+        [](Pe&, std::uint64_t,
+           const std::vector<double>&) -> std::optional<std::vector<double>> {
+          return std::nullopt;
+        },
+        [](Pe&, std::uint64_t, const std::vector<double>&) {});
+    for (PeId p = 0; p < pes; ++p) {
+      machine.schedule_at(0.0, p, [&reducer](Pe& pe) {
+        reducer.contribute(pe, std::vector<double>(8, 1.0));
+      });
+    }
+    machine.run();
+    benchmark::DoNotOptimize(reducer.cycles_completed());
+  }
+}
+BENCHMARK(BM_ReductionCycle)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GenerateRmat(benchmark::State& state) {
+  graph::GenParams params;
+  params.num_vertices = 1u << static_cast<std::uint32_t>(state.range(0));
+  params.num_edges = params.num_vertices * 16ull;
+  for (auto _ : state) {
+    auto list = graph::generate_rmat(params);
+    benchmark::DoNotOptimize(list.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(params.num_edges) *
+                          state.iterations());
+}
+BENCHMARK(BM_GenerateRmat)->Arg(12)->Arg(14);
+
+void BM_GenerateUniformRandom(benchmark::State& state) {
+  graph::GenParams params;
+  params.num_vertices = 1u << static_cast<std::uint32_t>(state.range(0));
+  params.num_edges = params.num_vertices * 16ull;
+  for (auto _ : state) {
+    auto list = graph::generate_uniform_random(params);
+    benchmark::DoNotOptimize(list.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(params.num_edges) *
+                          state.iterations());
+}
+BENCHMARK(BM_GenerateUniformRandom)->Arg(12)->Arg(14);
+
+void BM_CsrBuild(benchmark::State& state) {
+  graph::GenParams params;
+  params.num_vertices = 1u << 13;
+  params.num_edges = 1u << 17;
+  const auto list = graph::generate_uniform_random(params);
+  for (auto _ : state) {
+    auto csr = graph::Csr::from_edge_list(list);
+    benchmark::DoNotOptimize(csr.num_edges());
+  }
+}
+BENCHMARK(BM_CsrBuild);
+
+void BM_DijkstraSequential(benchmark::State& state) {
+  graph::GenParams params;
+  params.num_vertices = 1u << static_cast<std::uint32_t>(state.range(0));
+  params.num_edges = params.num_vertices * 16ull;
+  const auto csr =
+      graph::Csr::from_edge_list(graph::generate_uniform_random(params));
+  for (auto _ : state) {
+    auto dist = baselines::dijkstra(csr, 0);
+    benchmark::DoNotOptimize(dist.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(csr.num_edges()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DijkstraSequential)->Arg(12)->Arg(14);
+
+void BM_DeltaSteppingSequential(benchmark::State& state) {
+  graph::GenParams params;
+  params.num_vertices = 1u << 13;
+  params.num_edges = 1u << 17;
+  const auto csr =
+      graph::Csr::from_edge_list(graph::generate_uniform_random(params));
+  for (auto _ : state) {
+    auto dist = baselines::delta_stepping_seq(csr, 0);
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+BENCHMARK(BM_DeltaSteppingSequential);
+
+void BM_HistogramOps(benchmark::State& state) {
+  core::UpdateHistogram histogram(512, 0.0, 1u << 20);
+  acic::util::Xoshiro256 rng(5);
+  for (auto _ : state) {
+    const double d = rng.next_double(0.0, 10000.0);
+    const std::size_t b = histogram.bucket_of(d);
+    histogram.increment(b);
+    histogram.decrement(b);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_HistogramOps);
+
+void BM_ThresholdWalk(benchmark::State& state) {
+  std::vector<double> histogram(512);
+  acic::util::Xoshiro256 rng(6);
+  double total = 0.0;
+  for (auto& c : histogram) {
+    c = static_cast<double>(rng.next_below(1000));
+    total += c;
+  }
+  for (auto _ : state) {
+    const auto b = core::bucket_at_fraction(histogram, 0.999, total);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_ThresholdWalk);
+
+}  // namespace
+
+BENCHMARK_MAIN();

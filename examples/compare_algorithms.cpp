@@ -1,0 +1,100 @@
+// Interactive comparison driver: run any of the six SSSP implementations
+// on any of the four workloads at any scale/machine size, with result
+// validation against Dijkstra.
+//
+//   ./examples/compare_algorithms --graph rmat --scale 14 --nodes 8
+//   ./examples/compare_algorithms --algo acic,riken-delta --graph road
+//
+// Options: --graph random|rmat|road|erdos-renyi, --algo <csv of names |
+// all>, --scale N, --nodes M, --seed S, --validate 0|1, --full-nodes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/baselines/sequential.hpp"
+#include "src/graph/validate.hpp"
+#include "src/stats/experiment.hpp"
+#include "src/util/options.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!tok.empty()) out.push_back(tok);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace acic;
+  const util::Options opts(argc, argv);
+
+  stats::ExperimentSpec spec;
+  spec.graph = stats::graph_kind_from_string(opts.get("graph", "random"));
+  spec.scale = static_cast<std::uint32_t>(opts.get_int("scale", 13));
+  spec.nodes = static_cast<std::uint32_t>(opts.get_int("nodes", 4));
+  spec.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  spec.full_scale_nodes = opts.get_bool("full-nodes", false);
+  const bool validate = opts.get_bool("validate", true);
+
+  std::vector<stats::Algo> algos;
+  const std::string algo_opt = opts.get("algo", "all");
+  if (algo_opt == "all") {
+    algos = {stats::Algo::kAcic,        stats::Algo::kRiken,
+             stats::Algo::kDelta1D,     stats::Algo::kKla,
+             stats::Algo::kDistControl, stats::Algo::kAsyncBaseline};
+  } else {
+    for (const std::string& name : split_csv(algo_opt)) {
+      algos.push_back(stats::algo_from_string(name));
+    }
+  }
+
+  const graph::Csr csr = stats::build_graph(spec);
+  std::printf("workload: %s scale=%u (%u vertices, %zu edges), %u %s\n",
+              stats::graph_kind_name(spec.graph), spec.scale,
+              csr.num_vertices(), csr.num_edges(), spec.nodes,
+              spec.full_scale_nodes ? "paper nodes (48 PEs each)"
+                                    : "mini nodes (8 PEs each)");
+
+  std::vector<graph::Dist> expected;
+  if (validate) expected = baselines::dijkstra(csr, spec.source);
+
+  util::Table table({"algorithm", "time_ms", "teps", "updates",
+                     "wasted_pct", "msgs", "imbalance", "valid"});
+  for (const stats::Algo algo : algos) {
+    const auto run = stats::run_algorithm(algo, csr, spec);
+    std::string valid = "-";
+    if (validate) {
+      const auto cmp = graph::compare_distances(run.sssp.dist, expected);
+      valid = cmp.ok ? "yes" : "NO";
+      if (!cmp.ok) {
+        std::printf("  %s validation error: %s\n",
+                    stats::algo_name(algo), cmp.error.c_str());
+      }
+    }
+    const auto& m = run.sssp.metrics;
+    table.add_row(
+        {stats::algo_name(algo),
+         util::strformat("%.3f", m.sim_time_us / 1000.0),
+         util::strformat("%.3g", m.teps()),
+         util::strformat("%llu",
+                         static_cast<unsigned long long>(m.updates_created)),
+         util::strformat("%.1f%%", 100.0 * m.wasted_fraction()),
+         util::strformat("%llu",
+                         static_cast<unsigned long long>(m.network_messages)),
+         util::strformat("%.2f", run.busy_imbalance), valid});
+  }
+  table.print();
+  return 0;
+}

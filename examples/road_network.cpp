@@ -1,0 +1,67 @@
+// Road-network scenario: the high-diameter workload from the paper's
+// future-work section (§V).
+//
+// Road networks (GAP "Road"-style) have huge average path lengths, so a
+// bulk-synchronous SSSP needs a synchronization per bucket along very
+// long paths, while an asynchronous algorithm can chase a path without
+// stopping.  This example builds a grid road graph with highway
+// shortcuts, runs ACIC and both Δ-stepping baselines, and reports how
+// many synchronizations each needed — the quantity the paper predicts
+// asynchrony will save on this graph class.
+//
+//   ./examples/road_network [--scale N] [--nodes M] [--seed S]
+
+#include <cstdio>
+
+#include "src/stats/experiment.hpp"
+#include "src/util/options.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acic;
+  const util::Options opts(argc, argv);
+
+  stats::ExperimentSpec spec;
+  spec.graph = stats::GraphKind::kRoad;
+  spec.scale = static_cast<std::uint32_t>(opts.get_int("scale", 14));
+  spec.nodes = static_cast<std::uint32_t>(opts.get_int("nodes", 4));
+  spec.seed = static_cast<std::uint64_t>(opts.get_int("seed", 3));
+
+  const graph::Csr csr = stats::build_graph(spec);
+  std::printf("road network: %u intersections, %zu road segments "
+              "(bidirectional grid + highway shortcuts)\n",
+              csr.num_vertices(), csr.num_edges());
+
+  const auto acic_run =
+      stats::run_algorithm(stats::Algo::kAcic, csr, spec);
+  double max_dist = 0.0;
+  for (const graph::Dist d : acic_run.sssp.dist) {
+    if (d != graph::kInfDist) max_dist = std::max(max_dist, d);
+  }
+  std::printf("graph diameter from the depot (vertex 0): %.0f cost "
+              "units — a long-haul workload\n\n", max_dist);
+
+  const auto riken_run =
+      stats::run_algorithm(stats::Algo::kRiken, csr, spec);
+  const auto delta1d_run =
+      stats::run_algorithm(stats::Algo::kDelta1D, csr, spec);
+  const auto kla_run = stats::run_algorithm(stats::Algo::kKla, csr, spec);
+
+  util::Table table({"algorithm", "time_ms", "sync_rounds", "updates"});
+  for (const auto* run :
+       {&acic_run, &riken_run, &delta1d_run, &kla_run}) {
+    table.add_row(
+        {stats::algo_name(run->algo),
+         util::strformat("%.3f", run->sssp.metrics.sim_time_us / 1000.0),
+         util::strformat("%llu",
+                         static_cast<unsigned long long>(run->cycles)),
+         util::strformat("%llu", static_cast<unsigned long long>(
+                                     run->sssp.metrics.updates_created))});
+  }
+  table.print();
+  std::printf("\nhigh-diameter graphs force bulk-synchronous algorithms "
+              "through many more rounds (sync_rounds column); ACIC's "
+              "rounds overlap with useful work instead of gating it — "
+              "the paper's §V prediction for this graph class.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Timeline analysis: the paper's asynchrony argument, drawn.
+//
+// Runs ACIC and the RIKEN-style Δ-stepping baseline on the same workload
+// with the execution tracer attached (the simulator's analogue of
+// Charm++'s Projections tool), then prints per-PE utilization heat maps.
+// Δ-stepping shows vertical idle stripes at every barrier; ACIC shows
+// solid utilization with a gradually thinning tail.  The per-run trace
+// CSVs are written for external plotting.
+//
+//   ./examples/timeline_analysis [--scale N] [--graph random|rmat|road]
+
+#include <cstdio>
+
+#include "src/graph/partition2d.hpp"
+#include "src/baselines/delta_stepping_2d.hpp"
+#include "src/core/acic.hpp"
+#include "src/runtime/trace.hpp"
+#include "src/stats/experiment.hpp"
+#include "src/util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acic;
+  const util::Options opts(argc, argv);
+
+  stats::ExperimentSpec spec;
+  spec.graph = stats::graph_kind_from_string(opts.get("graph", "random"));
+  spec.scale = static_cast<std::uint32_t>(opts.get_int("scale", 12));
+  spec.nodes = static_cast<std::uint32_t>(opts.get_int("nodes", 2));
+  spec.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  const graph::Csr csr = stats::build_graph(spec);
+  const runtime::Topology topo = spec.topology();
+
+  std::printf("timeline analysis: %s scale=%u on %u worker PEs\n",
+              stats::graph_kind_name(spec.graph), spec.scale,
+              topo.num_pes());
+  std::printf("legend: . 0-20%%  : 20-40%%  - 40-60%%  = 60-80%%  # "
+              "80-100%% busy, one column per time bin\n\n");
+
+  // --- ACIC ---------------------------------------------------------------
+  runtime::Tracer acic_tracer;
+  {
+    runtime::Machine machine(topo);
+    acic::runtime::attach_tracer(machine, acic_tracer);
+    const auto partition =
+        graph::Partition1D::block(csr.num_vertices(), machine.num_pes());
+    const auto run =
+        core::acic_sssp(machine, csr, partition, spec.source, {});
+    std::printf("ACIC (asynchronous, %llu reduction cycles, %.3f ms):\n",
+                static_cast<unsigned long long>(run.reduction_cycles),
+                run.sssp.metrics.sim_time_us / 1000.0);
+    std::printf("%s\n",
+                acic_tracer
+                    .utilization_art(machine.num_pes(),
+                                     run.sssp.metrics.sim_time_us, 64)
+                    .c_str());
+    acic_tracer.write_csv("timeline_acic.csv");
+  }
+
+  // --- RIKEN-style Δ-stepping ----------------------------------------------
+  runtime::Tracer delta_tracer;
+  {
+    runtime::Machine machine(topo);
+    acic::runtime::attach_tracer(machine, delta_tracer);
+    const auto partition =
+        graph::Partition2D::squarest(csr, machine.num_pes());
+    const auto run = baselines::delta_stepping_2d(machine, csr, partition,
+                                                  spec.source, {});
+    std::printf("Delta-stepping (bulk-synchronous, %llu barrier rounds, "
+                "%.3f ms):\n",
+                static_cast<unsigned long long>(run.barrier_rounds),
+                run.sssp.metrics.sim_time_us / 1000.0);
+    std::printf("%s\n",
+                delta_tracer
+                    .utilization_art(machine.num_pes(),
+                                     run.sssp.metrics.sim_time_us, 64)
+                    .c_str());
+    delta_tracer.write_csv("timeline_delta.csv");
+  }
+
+  std::printf("wrote timeline_acic.csv and timeline_delta.csv "
+              "(pe,start_us,end_us,kind)\n");
+  std::printf("the stripes of '.' columns in the delta-stepping map are "
+              "barrier waits; the thinning right edge of the ACIC map is "
+              "the low-concurrency tail the paper describes\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "src/baselines/delta_common.hpp"
+
+namespace acic::baselines {
+
+DeltaController::Decision DeltaController::decide(const Summary& summary) {
+  switch (mode_) {
+    case Mode::kLight:
+      settled_this_bucket_ += summary.newly_settled;
+      if (summary.bucket_count > 0.0) {
+        // Vertices fell back into the current bucket: another light
+        // subphase.
+        return {DeltaCmd::kLight, current_bucket_};
+      }
+      mode_ = Mode::kHeavy;
+      return {DeltaCmd::kHeavy, current_bucket_};
+
+    case Mode::kHeavy: {
+      ++buckets_processed_;
+      // Hybrid heuristic: once the settled-per-bucket curve passes its
+      // peak, the remaining work is the sparse tail — switch to
+      // Bellman-Ford sweeps which need no bucket bookkeeping.
+      if (hybrid_ && buckets_processed_ >= 2 &&
+          settled_this_bucket_ < max_settled_per_bucket_ &&
+          max_settled_per_bucket_ > 0.0) {
+        switched_to_bf_ = true;
+        mode_ = Mode::kBellman;
+        return {DeltaCmd::kBellman, 0};
+      }
+      max_settled_per_bucket_ =
+          std::max(max_settled_per_bucket_, settled_this_bucket_);
+      settled_this_bucket_ = 0.0;
+      if (!summary.has_next_bucket) {
+        return {DeltaCmd::kDone, 0};
+      }
+      current_bucket_ = static_cast<std::uint64_t>(summary.min_next_bucket);
+      mode_ = Mode::kLight;
+      return {DeltaCmd::kLight, current_bucket_};
+    }
+
+    case Mode::kBellman:
+      if (summary.dirty_count > 0.0) {
+        return {DeltaCmd::kBellman, 0};
+      }
+      return {DeltaCmd::kDone, 0};
+  }
+  return {DeltaCmd::kDone, 0};
+}
+
+}  // namespace acic::baselines

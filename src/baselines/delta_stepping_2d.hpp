@@ -1,0 +1,33 @@
+#pragma once
+// Distributed Δ-stepping with a 2-D grid edge partition — the closest
+// structural analogue of the RIKEN Graph500-SSSP baseline the paper
+// compares against (2-D decomposition + hybrid Bellman-Ford switch).
+//
+// Per phase:
+//   1. Every state-owner cell collects its live frontier for the current
+//      bucket and broadcasts it down its processor *column* (the cells
+//      that store those vertices' out-edges).
+//   2. Each cell relaxes the frontier against its local edge block,
+//      min-combines candidates per destination vertex, and sends one
+//      combined message per destination owner along its *row*.
+//   3. Owners apply candidates (improving distances, re-bucketing).
+//   4. A drained barrier (sent/recv counters equal and stable across two
+//      reductions) closes the phase.
+// The schedule decisions (another light subphase, heavy phase, bucket
+// advance, hybrid Bellman-Ford switch, done) are shared with the 1-D
+// engine via DeltaController.
+
+#include "src/baselines/delta_common.hpp"
+#include "src/graph/csr.hpp"
+#include "src/graph/partition2d.hpp"
+#include "src/runtime/machine.hpp"
+
+namespace acic::baselines {
+
+DeltaRunResult delta_stepping_2d(
+    runtime::Machine& machine, const graph::Csr& csr,
+    const graph::Partition2D& partition, graph::VertexId source,
+    const DeltaConfig& config,
+    runtime::SimTime time_limit_us = runtime::kNoTimeLimit);
+
+}  // namespace acic::baselines

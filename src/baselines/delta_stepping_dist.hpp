@@ -1,0 +1,32 @@
+#pragma once
+// Distributed bulk-synchronous Δ-stepping over the discrete-event
+// runtime, with a 1-D block vertex partition.
+//
+// The schedule mirrors Meyer & Sanders' algorithm: for each distance
+// bucket of width Δ, light edges (w <= Δ) are relaxed repeatedly until no
+// vertex re-enters the bucket, then heavy edges of every vertex settled
+// in the bucket are relaxed once; then the globally smallest non-empty
+// bucket becomes current.  Every phase ends with a *drained barrier*: an
+// allreduce loop that repeats until the cumulative sent/received
+// relaxation counters are equal and stable, which is the distributed
+// analogue of the shared-memory phase boundary and is exactly where the
+// paper locates Δ-stepping's multi-node synchronization cost.
+//
+// With `hybrid_bellman_ford` the RIKEN/Chakaravarthy tail heuristic is
+// enabled: once the per-bucket settled count passes its maximum the
+// algorithm stops bucketing and finishes with Bellman-Ford sweeps.
+
+#include "src/baselines/delta_common.hpp"
+#include "src/graph/csr.hpp"
+#include "src/graph/partition.hpp"
+#include "src/runtime/machine.hpp"
+
+namespace acic::baselines {
+
+DeltaRunResult delta_stepping_dist(
+    runtime::Machine& machine, const graph::Csr& csr,
+    const graph::Partition1D& partition, graph::VertexId source,
+    const DeltaConfig& config,
+    runtime::SimTime time_limit_us = runtime::kNoTimeLimit);
+
+}  // namespace acic::baselines

@@ -1,0 +1,317 @@
+#include "src/baselines/kla.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/collectives.hpp"
+#include "src/util/assert.hpp"
+
+namespace acic::baselines {
+
+namespace {
+
+using graph::Dist;
+using graph::VertexId;
+using runtime::Pe;
+using runtime::PeId;
+
+/// An update carrying its hop depth within the current superstep.
+struct KlaUpdate {
+  VertexId vertex = 0;
+  Dist dist = 0.0;
+  std::uint32_t hops = 0;
+};
+
+enum Slot : std::size_t {
+  kSent = 0,
+  kRecv = 1,
+  kChanged = 2,
+  kDeferred = 3,
+  kSlots = 4,
+};
+
+enum class KlaCmd : int { kWork = 0, kNoop = 1, kDone = 2 };
+
+struct PeState {
+  VertexId first = 0;
+  VertexId last = 0;
+  std::vector<Dist> dist;
+  std::vector<bool> deferred_flag;
+  std::vector<VertexId> deferred;
+
+  std::uint64_t sent = 0;
+  std::uint64_t recv = 0;
+  std::uint64_t changed_delta = 0;
+
+  std::uint64_t created = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t touched = 0;
+
+  std::uint32_t k = 1;
+  bool done = false;
+};
+
+class KlaEngine {
+ public:
+  KlaEngine(runtime::Machine& machine, const graph::Csr& csr,
+            const graph::Partition1D& partition, VertexId source,
+            const KlaConfig& config)
+      : machine_(machine),
+        csr_(csr),
+        partition_(partition),
+        source_(source),
+        config_(config),
+        k_(std::max(config.initial_k, config.min_k)),
+        pes_(machine.num_pes()) {
+    ACIC_ASSERT(partition.num_parts() == machine.num_pes());
+    ACIC_ASSERT(source < csr.num_vertices());
+
+    for (PeId p = 0; p < machine_.num_pes(); ++p) {
+      PeState& state = pes_[p];
+      state.first = partition.begin(p);
+      state.last = partition.end(p);
+      const std::size_t n = state.last - state.first;
+      state.dist.assign(n, graph::kInfDist);
+      state.deferred_flag.assign(n, false);
+      state.k = k_;
+    }
+
+    tram::TramConfig tram_config = config_.tram;
+    tram_config.item_bytes = sizeof(KlaUpdate);
+    tram_ = std::make_unique<tram::Tram<KlaUpdate>>(
+        machine_, tram_config,
+        [this](Pe& pe, const KlaUpdate& u) { on_deliver(pe, u); });
+
+    build_reducer();
+
+    const PeId owner = partition_.owner(source_);
+    machine_.schedule_at(0.0, owner, [this](Pe& pe) {
+      PeState& state = pes_[pe.id()];
+      const VertexId local = source_ - state.first;
+      state.dist[local] = 0.0;
+      ++state.touched;
+      ++state.changed_delta;
+      state.deferred_flag[local] = true;
+      state.deferred.push_back(source_);
+    });
+    for (PeId p = 0; p < machine_.num_pes(); ++p) {
+      machine_.schedule_at(0.0, p, [this](Pe& pe) {
+        execute(pe, KlaCmd::kWork, k_);
+      });
+    }
+  }
+
+  KlaRunResult run(runtime::SimTime time_limit_us) {
+    const runtime::RunStats stats = machine_.run(time_limit_us);
+
+    KlaRunResult result;
+    result.hit_time_limit = stats.hit_time_limit;
+    result.supersteps = supersteps_;
+    result.final_k = k_;
+    result.peak_k = peak_k_;
+
+    result.sssp.dist.assign(csr_.num_vertices(), graph::kInfDist);
+    for (const PeState& state : pes_) {
+      std::copy(state.dist.begin(), state.dist.end(),
+                result.sssp.dist.begin() + state.first);
+      result.sssp.metrics.updates_created += state.created;
+      result.sssp.metrics.updates_processed += state.processed;
+      result.sssp.metrics.updates_rejected += state.rejected;
+      result.sssp.metrics.vertices_touched += state.touched;
+    }
+    result.sssp.metrics.network_messages = stats.messages_sent;
+    result.sssp.metrics.network_bytes = stats.bytes_sent;
+    result.sssp.metrics.collective_cycles = reducer_->cycles_completed();
+    result.sssp.metrics.sim_time_us = stats.end_time_us;
+
+    result.pe_busy_us.resize(machine_.num_pes());
+    for (PeId p = 0; p < machine_.num_pes(); ++p) {
+      result.pe_busy_us[p] = machine_.pe_busy_us(p);
+    }
+    return result;
+  }
+
+ private:
+  void send_relax(Pe& pe, VertexId target, Dist d, std::uint32_t hops) {
+    PeState& state = pes_[pe.id()];
+    ++state.created;
+    ++state.sent;
+    pe.charge(config_.costs.edge_relax_us);
+    tram_->insert(pe, partition_.owner(target),
+                  KlaUpdate{target, d, hops});
+  }
+
+  void on_deliver(Pe& pe, const KlaUpdate& u) {
+    PeState& state = pes_[pe.id()];
+    ++state.recv;
+    ++state.processed;
+    pe.charge(config_.costs.update_apply_us);
+    const VertexId local = u.vertex - state.first;
+    ACIC_ASSERT(u.vertex >= state.first && u.vertex < state.last);
+
+    if (u.dist >= state.dist[local]) {
+      ++state.rejected;
+      return;
+    }
+    if (state.dist[local] == graph::kInfDist) ++state.touched;
+    state.dist[local] = u.dist;
+    ++state.changed_delta;
+
+    if (u.hops < state.k) {
+      // Still within the asynchrony window: expand immediately.
+      for (const graph::Neighbor& nb : csr_.out_neighbors(u.vertex)) {
+        send_relax(pe, nb.dst, u.dist + nb.weight, u.hops + 1);
+      }
+      return;
+    }
+    // Depth budget exhausted: defer to the next superstep.
+    if (!state.deferred_flag[local]) {
+      state.deferred_flag[local] = true;
+      state.deferred.push_back(u.vertex);
+    }
+  }
+
+  void do_work(Pe& pe, std::uint32_t k) {
+    PeState& state = pes_[pe.id()];
+    state.k = k;
+    std::vector<VertexId> frontier;
+    frontier.swap(state.deferred);
+    for (const VertexId v : frontier) {
+      const VertexId local = v - state.first;
+      state.deferred_flag[local] = false;
+      for (const graph::Neighbor& nb : csr_.out_neighbors(v)) {
+        send_relax(pe, nb.dst, state.dist[local] + nb.weight, 1);
+      }
+    }
+  }
+
+  void execute(Pe& pe, KlaCmd cmd, std::uint32_t k) {
+    PeState& state = pes_[pe.id()];
+    switch (cmd) {
+      case KlaCmd::kWork:
+        do_work(pe, k);
+        break;
+      case KlaCmd::kNoop:
+        break;
+      case KlaCmd::kDone:
+        state.done = true;
+        return;
+    }
+    tram_->flush_all(pe);
+    contribute(pe);
+  }
+
+  void contribute(Pe& pe) {
+    PeState& state = pes_[pe.id()];
+    std::vector<double> payload(kSlots, 0.0);
+    payload[kSent] = static_cast<double>(state.sent);
+    payload[kRecv] = static_cast<double>(state.recv);
+    payload[kChanged] = static_cast<double>(state.changed_delta);
+    state.changed_delta = 0;
+    payload[kDeferred] = static_cast<double>(state.deferred.size());
+    reducer_->contribute(pe, payload);
+  }
+
+  void build_reducer() {
+    reducer_ = std::make_unique<runtime::Reducer>(
+        machine_, kSlots,
+        [this](Pe&, std::uint64_t, const std::vector<double>& sum)
+            -> std::optional<std::vector<double>> {
+          return on_root(sum);
+        },
+        [this](Pe& pe, std::uint64_t, const std::vector<double>& payload) {
+          on_broadcast(pe, payload);
+        });
+  }
+
+  std::optional<std::vector<double>> on_root(const std::vector<double>& sum) {
+    const bool equal = sum[kSent] == sum[kRecv];
+    const bool stable = equal && drained_armed_ && sum[kSent] == last_sent_;
+    drained_armed_ = equal;
+    last_sent_ = sum[kSent];
+    pending_changed_ += sum[kChanged];
+
+    if (!stable) {
+      return std::vector<double>{
+          static_cast<double>(static_cast<int>(KlaCmd::kNoop)),
+          static_cast<double>(k_)};
+    }
+    drained_armed_ = false;
+
+    if (sum[kDeferred] == 0.0) {
+      return std::vector<double>{
+          static_cast<double>(static_cast<int>(KlaCmd::kDone)),
+          static_cast<double>(k_)};
+    }
+
+    // Adapt k on the changed-vertices trend (double / halve / keep).
+    const double changed = pending_changed_;
+    pending_changed_ = 0.0;
+    if (prev_changed_ > 0.0) {
+      const double ratio = changed / prev_changed_;
+      if (ratio >= config_.grow_ratio) {
+        k_ = std::min(config_.max_k, k_ * 2);
+      } else if (ratio <= config_.shrink_ratio) {
+        k_ = std::max(config_.min_k, k_ / 2);
+      }
+    }
+    peak_k_ = std::max<std::uint64_t>(peak_k_, k_);
+    prev_changed_ = changed;
+    ++supersteps_;
+    return std::vector<double>{
+        static_cast<double>(static_cast<int>(KlaCmd::kWork)),
+        static_cast<double>(k_)};
+  }
+
+  void on_broadcast(Pe& pe, const std::vector<double>& payload) {
+    const auto cmd = static_cast<KlaCmd>(static_cast<int>(payload[0]));
+    const auto k = static_cast<std::uint32_t>(payload[1]);
+    if (cmd == KlaCmd::kDone) {
+      pes_[pe.id()].done = true;
+      return;
+    }
+    if (cmd == KlaCmd::kNoop) {
+      const PeId id = pe.id();
+      machine_.schedule_at(pe.now() + config_.barrier_interval_us, id,
+                           [this, k](Pe& next) {
+                             execute(next, KlaCmd::kNoop, k);
+                           });
+      return;
+    }
+    execute(pe, cmd, k);
+  }
+
+  runtime::Machine& machine_;
+  const graph::Csr& csr_;
+  const graph::Partition1D& partition_;
+  VertexId source_;
+  KlaConfig config_;
+  std::uint32_t k_;
+
+  std::vector<PeState> pes_;
+  std::unique_ptr<tram::Tram<KlaUpdate>> tram_;
+  std::unique_ptr<runtime::Reducer> reducer_;
+
+  bool drained_armed_ = false;
+  double last_sent_ = -1.0;
+  double pending_changed_ = 0.0;
+  double prev_changed_ = 0.0;
+  std::uint64_t supersteps_ = 0;
+  std::uint64_t peak_k_ = 0;
+};
+
+}  // namespace
+
+KlaRunResult kla_sssp(runtime::Machine& machine, const graph::Csr& csr,
+                      const graph::Partition1D& partition, VertexId source,
+                      const KlaConfig& config,
+                      runtime::SimTime time_limit_us) {
+  KlaEngine engine(machine, csr, partition, source, config);
+  return engine.run(time_limit_us);
+}
+
+}  // namespace acic::baselines

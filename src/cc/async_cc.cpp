@@ -1,0 +1,291 @@
+#include "src/cc/async_cc.hpp"
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <utility>
+
+#include "src/core/hold.hpp"
+#include "src/core/thresholds.hpp"
+#include "src/runtime/collectives.hpp"
+#include "src/util/assert.hpp"
+
+namespace acic::cc {
+
+namespace {
+
+using graph::VertexId;
+using runtime::Pe;
+using runtime::PeId;
+
+/// A label update: "vertex may belong to label's component".
+struct LabelUpdate {
+  VertexId vertex = 0;
+  VertexId label = 0;
+};
+
+/// Min-heap ordering: smallest label first (lowest labels are final
+/// soonest, mirroring lowest-distance-first in SSSP).
+struct LabelMinOrder {
+  bool operator()(const LabelUpdate& a, const LabelUpdate& b) const {
+    if (a.label != b.label) return a.label > b.label;
+    return a.vertex > b.vertex;
+  }
+};
+
+struct PeState {
+  VertexId first = 0;
+  VertexId last = 0;
+  std::vector<VertexId> labels;
+  std::vector<std::int64_t> histogram;
+  core::BucketedHold pq_hold{1};
+  std::priority_queue<LabelUpdate, std::vector<LabelUpdate>,
+                      LabelMinOrder>
+      pq;
+  std::size_t t_pq = 0;
+
+  std::uint64_t created = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t rejected = 0;
+  bool terminated = false;
+};
+
+class AsyncCcEngine {
+ public:
+  AsyncCcEngine(runtime::Machine& machine, const graph::Csr& csr,
+                const graph::Partition1D& partition,
+                const AsyncCcConfig& config)
+      : machine_(machine),
+        csr_(csr),
+        partition_(partition),
+        config_(config),
+        bucket_width_(std::max<double>(
+            1.0, static_cast<double>(csr.num_vertices()) /
+                     static_cast<double>(config.num_buckets))),
+        pes_(machine.num_pes()) {
+    ACIC_ASSERT(partition.num_parts() == machine.num_pes());
+
+    for (PeId p = 0; p < machine_.num_pes(); ++p) {
+      PeState& state = pes_[p];
+      state.first = partition.begin(p);
+      state.last = partition.end(p);
+      state.labels.resize(state.last - state.first);
+      for (VertexId v = state.first; v < state.last; ++v) {
+        state.labels[v - state.first] = v;  // own id
+      }
+      state.histogram.assign(config_.num_buckets, 0);
+      state.pq_hold = core::BucketedHold(config_.num_buckets);
+      state.t_pq = config_.num_buckets - 1;
+    }
+
+    tram::TramConfig tram_config = config_.tram;
+    tram_config.item_bytes = 8;
+    tram_ = std::make_unique<tram::Tram<LabelUpdate>>(
+        machine_, tram_config,
+        [this](Pe& pe, const LabelUpdate& u) { on_deliver(pe, u); });
+
+    build_reducer();
+
+    for (PeId p = 0; p < machine_.num_pes(); ++p) {
+      machine_.set_idle_handler(
+          p, [this](Pe& pe) { return drain_pq(pe); });
+      // Seed: every vertex announces its own id to its neighbors once.
+      machine_.schedule_at(0.0, p, [this](Pe& pe) { seed(pe); });
+      machine_.schedule_at(0.0, p, [this](Pe& pe) { contribute(pe); });
+    }
+  }
+
+  AsyncCcResult run(runtime::SimTime time_limit_us) {
+    const runtime::RunStats stats = machine_.run(time_limit_us);
+    AsyncCcResult result;
+    result.hit_time_limit = stats.hit_time_limit;
+    result.reduction_cycles = reducer_->cycles_completed();
+    result.network_messages = stats.messages_sent;
+    result.sim_time_us = stats.end_time_us;
+    result.labels.resize(csr_.num_vertices());
+    for (const PeState& state : pes_) {
+      std::copy(state.labels.begin(), state.labels.end(),
+                result.labels.begin() + state.first);
+      result.updates_created += state.created;
+      result.updates_processed += state.processed;
+      result.updates_rejected += state.rejected;
+    }
+    return result;
+  }
+
+ private:
+  PeState& state_of(const Pe& pe) { return pes_[pe.id()]; }
+
+  std::size_t bucket_of(VertexId label) const {
+    const auto b = static_cast<std::size_t>(
+        static_cast<double>(label) / bucket_width_);
+    return b < config_.num_buckets ? b : config_.num_buckets - 1;
+  }
+
+  /// Initial wave: every vertex proposes its own id to its neighbors.
+  /// Only edges pointing to a *larger* neighbor can improve it, so the
+  /// seed sends along those edges only.
+  void seed(Pe& pe) {
+    PeState& state = state_of(pe);
+    for (VertexId v = state.first; v < state.last; ++v) {
+      for (const graph::Neighbor& nb : csr_.out_neighbors(v)) {
+        if (nb.dst > v) {
+          pe.charge(config_.costs.edge_relax_us);
+          create_update(pe, nb.dst, v);
+        }
+      }
+    }
+  }
+
+  void create_update(Pe& pe, VertexId target, VertexId label) {
+    PeState& state = state_of(pe);
+    ++state.created;
+    ++state.histogram[bucket_of(label)];
+    tram_->insert(pe, partition_.owner(target),
+                  LabelUpdate{target, label});
+  }
+
+  void mark_processed(PeState& state, VertexId label) {
+    ++state.processed;
+    --state.histogram[bucket_of(label)];
+  }
+
+  void on_deliver(Pe& pe, const LabelUpdate& u) {
+    PeState& state = state_of(pe);
+    pe.charge(config_.costs.update_apply_us);
+    const VertexId local = u.vertex - state.first;
+    ACIC_ASSERT(u.vertex >= state.first && u.vertex < state.last);
+
+    if (u.label >= state.labels[local]) {
+      mark_processed(state, u.label);
+      ++state.rejected;
+      return;
+    }
+    state.labels[local] = u.label;
+
+    if (!config_.use_pq) {
+      expand(pe, u);
+      return;
+    }
+    const std::size_t bucket = bucket_of(u.label);
+    if (bucket <= state.t_pq) {
+      pe.charge(config_.costs.pq_op_us);
+      state.pq.push(u);
+    } else {
+      state.pq_hold.put(bucket,
+                        sssp::Update{u.vertex, static_cast<double>(u.label)});
+    }
+  }
+
+  bool drain_pq(Pe& pe) {
+    PeState& state = state_of(pe);
+    bool any = false;
+    for (std::size_t i = 0;
+         i < config_.pq_drain_batch && !state.pq.empty(); ++i) {
+      pe.charge(config_.costs.pq_op_us);
+      const LabelUpdate u = state.pq.top();
+      state.pq.pop();
+      any = true;
+      const VertexId local = u.vertex - state.first;
+      if (state.labels[local] == u.label) {
+        expand(pe, u);
+      } else {
+        mark_processed(state, u.label);  // superseded by a smaller label
+      }
+    }
+    return any;
+  }
+
+  void expand(Pe& pe, const LabelUpdate& u) {
+    for (const graph::Neighbor& nb : csr_.out_neighbors(u.vertex)) {
+      pe.charge(config_.costs.edge_relax_us);
+      create_update(pe, nb.dst, u.label);
+    }
+    mark_processed(state_of(pe), u.label);
+  }
+
+  std::size_t payload_width() const { return config_.num_buckets + 2; }
+
+  void contribute(Pe& pe) {
+    PeState& state = state_of(pe);
+    if (state.terminated) return;
+    std::vector<double> payload;
+    payload.reserve(payload_width());
+    for (const std::int64_t c : state.histogram) {
+      payload.push_back(static_cast<double>(c));
+    }
+    payload.push_back(static_cast<double>(state.created));
+    payload.push_back(static_cast<double>(state.processed));
+    reducer_->contribute(pe, payload);
+  }
+
+  void build_reducer() {
+    reducer_ = std::make_unique<runtime::Reducer>(
+        machine_, payload_width(),
+        [this](Pe&, std::uint64_t, const std::vector<double>& sum)
+            -> std::optional<std::vector<double>> {
+          const double created = sum[config_.num_buckets];
+          const double processed = sum[config_.num_buckets + 1];
+          const bool equal = created == processed;
+          if (equal && armed_ && created == last_created_) {
+            return std::vector<double>{0.0, 1.0};
+          }
+          armed_ = equal;
+          last_created_ = created;
+
+          const std::vector<double> histogram(
+              sum.begin(), sum.begin() + config_.num_buckets);
+          const core::ThresholdPolicy policy{
+              1.0, config_.p_pq, config_.low_activity_factor};
+          const core::Thresholds t = core::compute_thresholds(
+              histogram, machine_.num_pes(), policy);
+          return std::vector<double>{static_cast<double>(t.t_pq), 0.0};
+        },
+        [this](Pe& pe, std::uint64_t, const std::vector<double>& payload) {
+          PeState& state = state_of(pe);
+          if (payload[1] != 0.0) {
+            state.terminated = true;
+            return;
+          }
+          state.t_pq = static_cast<std::size_t>(payload[0]);
+          release_buffer_.clear();
+          state.pq_hold.release_up_to(state.t_pq, &release_buffer_);
+          for (const sssp::Update& u : release_buffer_) {
+            pe.charge(config_.costs.pq_op_us);
+            state.pq.push(LabelUpdate{
+                u.vertex, static_cast<VertexId>(u.dist)});
+          }
+          tram_->flush_all(pe);
+          const PeId id = pe.id();
+          machine_.schedule_at(pe.now() + config_.reduction_interval_us,
+                               id,
+                               [this](Pe& next) { contribute(next); });
+        });
+  }
+
+  runtime::Machine& machine_;
+  const graph::Csr& csr_;
+  const graph::Partition1D& partition_;
+  AsyncCcConfig config_;
+  double bucket_width_;
+
+  std::vector<PeState> pes_;
+  std::unique_ptr<tram::Tram<LabelUpdate>> tram_;
+  std::unique_ptr<runtime::Reducer> reducer_;
+
+  bool armed_ = false;
+  double last_created_ = -1.0;
+  std::vector<sssp::Update> release_buffer_;
+};
+
+}  // namespace
+
+AsyncCcResult async_cc(runtime::Machine& machine, const graph::Csr& csr,
+                       const graph::Partition1D& partition,
+                       const AsyncCcConfig& config,
+                       runtime::SimTime time_limit_us) {
+  AsyncCcEngine engine(machine, csr, partition, config);
+  return engine.run(time_limit_us);
+}
+
+}  // namespace acic::cc

@@ -1,0 +1,70 @@
+#include "src/cc/union_find.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace acic::cc {
+
+using graph::VertexId;
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  for (std::size_t v = 0; v < n; ++v) {
+    parent_[v] = static_cast<VertexId>(v);
+  }
+}
+
+VertexId UnionFind::find(VertexId v) {
+  ACIC_ASSERT(v < parent_.size());
+  VertexId root = v;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[v] != root) {
+    const VertexId next = parent_[v];
+    parent_[v] = root;
+    v = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(VertexId a, VertexId b) {
+  VertexId ra = find(a);
+  VertexId rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+std::vector<VertexId> connected_components(const graph::Csr& csr) {
+  const VertexId n = csr.num_vertices();
+  UnionFind uf(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const graph::Neighbor& nb : csr.out_neighbors(v)) {
+      uf.unite(v, nb.dst);
+    }
+  }
+  // Canonical label: the minimum vertex id in each set.
+  std::vector<VertexId> min_of_root(n, graph::kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId root = uf.find(v);
+    min_of_root[root] = std::min(min_of_root[root], v);
+  }
+  std::vector<VertexId> labels(n);
+  for (VertexId v = 0; v < n; ++v) {
+    labels[v] = min_of_root[uf.find(v)];
+  }
+  return labels;
+}
+
+std::size_t count_components(const std::vector<VertexId>& labels) {
+  std::size_t count = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] == v) ++count;
+  }
+  return count;
+}
+
+}  // namespace acic::cc

@@ -1,0 +1,41 @@
+#pragma once
+// Sequential connected-components ground truth: union-find with path
+// compression and union by size.  Components are canonically labeled by
+// their minimum vertex id, which is also the fixed point of the
+// distributed label-propagation algorithms in this directory.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr.hpp"
+#include "src/graph/types.hpp"
+
+namespace acic::cc {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of v's set (with path compression).
+  graph::VertexId find(graph::VertexId v);
+
+  /// Merges the sets of a and b; returns true if they were disjoint.
+  bool unite(graph::VertexId a, graph::VertexId b);
+
+  std::size_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<graph::VertexId> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t num_sets_;
+};
+
+/// Labels every vertex with the smallest vertex id in its (weakly)
+/// connected component — edge direction is ignored, as in the paper's
+/// future-work setting of components on random graphs.
+std::vector<graph::VertexId> connected_components(const graph::Csr& csr);
+
+/// Number of distinct components in a label vector.
+std::size_t count_components(const std::vector<graph::VertexId>& labels);
+
+}  // namespace acic::cc

@@ -1,0 +1,570 @@
+#include "src/core/acic.hpp"
+
+#include <memory>
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <span>
+#include <utility>
+
+#include "src/core/histogram.hpp"
+#include "src/core/hold.hpp"
+#include "src/runtime/collectives.hpp"
+#include "src/sssp/update.hpp"
+#include "src/tram/tram.hpp"
+#include "src/util/assert.hpp"
+
+namespace acic::core {
+
+namespace {
+
+using graph::Dist;
+using graph::VertexId;
+using runtime::Pe;
+using runtime::PeId;
+using sssp::Update;
+
+/// Per-PE algorithm state.  Only tasks running on the owning PE touch it
+/// (message-passing discipline; the simulation is single-threaded but the
+/// code is written as if each PE were a separate address space).
+struct PeState {
+  VertexId first = 0;  // owned vertex range [first, last)
+  VertexId last = 0;
+  std::vector<Dist> dist;  // indexed by (v - first)
+
+  std::unique_ptr<UpdateHistogram> histogram;
+  BucketedHold tram_hold{1};
+  BucketedHold pq_hold{1};
+  std::priority_queue<Update, std::vector<Update>, sssp::UpdateMinOrder> pq;
+
+  std::size_t t_tram = 0;
+  std::size_t t_pq = 0;
+  /// Lowest globally non-empty histogram bucket (from the last
+  /// broadcast); vertices with distances in strictly lower buckets are
+  /// provably final (non-negative weights).
+  std::size_t lowest_active_bucket = 0;
+
+  std::uint64_t created = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t superseded = 0;
+  std::uint64_t touched = 0;
+
+  // Lifecycle stage counters (fig. 2).
+  std::uint64_t sent_directly = 0;
+  std::uint64_t held_in_tram = 0;
+  std::uint64_t entered_pq_directly = 0;
+  std::uint64_t held_in_pq_hold = 0;
+  std::uint64_t expanded = 0;
+
+  bool terminated = false;
+};
+
+/// A stolen expansion chunk waiting on a process's shared work queue:
+/// relax edges [begin, end) of `vertex` at distance `dist`.
+struct StealChunk {
+  VertexId vertex = 0;
+  Dist dist = 0.0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t bucket = 0;  // histogram bucket of `dist`
+};
+
+class AcicEngine {
+ public:
+  AcicEngine(runtime::Machine& machine, const graph::Csr& csr,
+             const graph::Partition1D& partition, VertexId source,
+             const AcicConfig& config)
+      : machine_(machine),
+        csr_(csr),
+        partition_(partition),
+        source_(source),
+        config_(config),
+        pes_(machine.num_pes()) {
+    ACIC_ASSERT_MSG(partition.num_parts() == machine.num_pes(),
+                    "partition parts must equal worker PE count");
+    ACIC_ASSERT(source < csr.num_vertices());
+
+    for (PeId p = 0; p < machine_.num_pes(); ++p) {
+      PeState& state = pes_[p];
+      state.first = partition.begin(p);
+      state.last = partition.end(p);
+      state.dist.assign(state.last - state.first, graph::kInfDist);
+      state.histogram = std::make_unique<UpdateHistogram>(
+          config_.num_buckets, config_.bucket_width, csr.num_vertices());
+      state.tram_hold = BucketedHold(config_.num_buckets);
+      state.pq_hold = BucketedHold(config_.num_buckets);
+      // Before the first broadcast the activity is trivially low, so the
+      // thresholds start fully open (Algorithm 1's low-activity branch).
+      state.t_tram = config_.num_buckets - 1;
+      state.t_pq = config_.num_buckets - 1;
+    }
+
+    tram_ = std::make_unique<tram::Tram<Update>>(
+        machine_, config_.tram,
+        [this](Pe& pe, const Update& u) { on_deliver(pe, u); });
+
+    build_reducer();
+
+    steal_queues_.resize(machine_.topology().num_procs());
+    for (PeId p = 0; p < machine_.num_pes(); ++p) {
+      machine_.set_idle_handler(p, [this](Pe& pe) {
+        // Pull-based stealing first (shared process queue), then the
+        // PE's own priority queue.
+        return drain_steal_queue(pe) || drain_pq(pe);
+      });
+    }
+
+    // Inject the source update before the first contributions are
+    // scheduled so the initial reduction can never observe 0 == 0.
+    const PeId source_owner = partition_.owner(source_);
+    machine_.schedule_at(0.0, source_owner, [this](Pe& pe) {
+      create_update(pe, source_, 0.0);
+    });
+    for (PeId p = 0; p < machine_.num_pes(); ++p) {
+      machine_.schedule_at(0.0, p, [this](Pe& pe) { contribute(pe); });
+    }
+  }
+
+  AcicRunResult run(runtime::SimTime time_limit_us) {
+    const runtime::RunStats stats = machine_.run(time_limit_us);
+
+    AcicRunResult result;
+    result.hit_time_limit = stats.hit_time_limit;
+    result.reduction_cycles = reducer_->cycles_completed();
+    result.histograms = std::move(snapshots_);
+
+    result.sssp.dist.assign(csr_.num_vertices(), graph::kInfDist);
+    for (const PeState& state : pes_) {
+      std::copy(state.dist.begin(), state.dist.end(),
+                result.sssp.dist.begin() + state.first);
+      result.sssp.metrics.updates_created += state.created;
+      result.sssp.metrics.updates_processed += state.processed;
+      result.sssp.metrics.updates_rejected += state.rejected;
+      result.sssp.metrics.updates_superseded += state.superseded;
+      result.sssp.metrics.vertices_touched += state.touched;
+      result.lifecycle.created += state.created;
+      result.lifecycle.sent_directly += state.sent_directly;
+      result.lifecycle.held_in_tram += state.held_in_tram;
+      result.lifecycle.rejected_on_arrival += state.rejected;
+      result.lifecycle.entered_pq_directly += state.entered_pq_directly;
+      result.lifecycle.held_in_pq_hold += state.held_in_pq_hold;
+      result.lifecycle.superseded_in_pq += state.superseded;
+      result.lifecycle.expanded += state.expanded;
+    }
+    result.sssp.metrics.network_messages = stats.messages_sent;
+    result.sssp.metrics.network_bytes = stats.bytes_sent;
+    result.sssp.metrics.collective_cycles = reducer_->cycles_completed();
+    result.sssp.metrics.sim_time_us = stats.end_time_us;
+
+    result.pe_busy_us.resize(machine_.num_pes());
+    for (PeId p = 0; p < machine_.num_pes(); ++p) {
+      result.pe_busy_us[p] = machine_.pe_busy_us(p);
+    }
+    return result;
+  }
+
+ private:
+  PeState& state_of(const Pe& pe) { return pes_[pe.id()]; }
+
+  // ---- update lifecycle -------------------------------------------------
+
+  /// Creates update (target, d): counts it, adds it to the local
+  /// histogram and routes it through the tram threshold (paper fig. 2,
+  /// green "create" block).
+  void create_update(Pe& pe, VertexId target, Dist d) {
+    PeState& state = state_of(pe);
+    ++state.created;
+    const std::size_t bucket = state.histogram->bucket_of(d);
+    state.histogram->increment(bucket);
+    if (!config_.use_tram_hold || bucket <= state.t_tram) {
+      ++state.sent_directly;
+      tram_->insert(pe, partition_.owner(target), Update{target, d});
+    } else {
+      ++state.held_in_tram;
+      state.tram_hold.put(bucket, Update{target, d});
+    }
+  }
+
+  /// An update arrived at the owner of its vertex (purple "process
+  /// arrival" block).  Better distances are applied immediately; the
+  /// expansion is deferred through pq so a still-better update can
+  /// supersede it (the paper's optimal-update generation).
+  void on_deliver(Pe& pe, const Update& u) {
+    PeState& state = state_of(pe);
+    if (state.terminated) {
+      // Early termination declared: every reachable vertex is final, so
+      // any straggler update is by definition rejectable.
+      mark_processed(state, u.dist);
+      ++state.rejected;
+      return;
+    }
+    pe.charge(config_.costs.update_apply_us);
+    const VertexId local = u.vertex - state.first;
+    ACIC_ASSERT(u.vertex >= state.first && u.vertex < state.last);
+
+    if (u.dist >= state.dist[local]) {
+      mark_processed(state, u.dist);
+      ++state.rejected;
+      return;
+    }
+    if (state.dist[local] == graph::kInfDist) ++state.touched;
+    state.dist[local] = u.dist;
+
+    if (!config_.use_pq) {
+      expand(pe, u);  // baseline behaviour: relax out-edges immediately
+      return;
+    }
+    const std::size_t bucket = state.histogram->bucket_of(u.dist);
+    if (!config_.use_pq_hold || bucket <= state.t_pq) {
+      ++state.entered_pq_directly;
+      pe.charge(config_.costs.pq_op_us);
+      state.pq.push(u);
+    } else {
+      ++state.held_in_pq_hold;
+      state.pq_hold.put(bucket, u);
+    }
+  }
+
+  /// Idle-time drain: pop improving updates in increasing distance order
+  /// and expand only those still current (dist(v) == d).
+  bool drain_pq(Pe& pe) {
+    PeState& state = state_of(pe);
+    bool any = false;
+    for (std::size_t i = 0;
+         i < config_.pq_drain_batch && !state.pq.empty(); ++i) {
+      pe.charge(config_.costs.pq_op_us);
+      const Update u = state.pq.top();
+      state.pq.pop();
+      any = true;
+      const VertexId local = u.vertex - state.first;
+      if (state.dist[local] == u.dist) {
+        expand(pe, u);
+      } else {
+        // A better update arrived while this one sat in pq: it is wasted.
+        mark_processed(state, u.dist);
+        ++state.superseded;
+      }
+    }
+    return any;
+  }
+
+  /// Relaxes every out-edge of u.vertex at distance u.dist, then marks u
+  /// processed.  High-degree vertices may be stolen: the edge range is
+  /// split across the process's worker PEs, which relax their chunks
+  /// against the shared-memory CSR (future work §V).
+  void expand(Pe& pe, const Update& u) {
+    const auto row = csr_.out_neighbors(u.vertex);
+    const std::uint32_t workers =
+        machine_.topology().pes_per_proc;
+    if (config_.hub_split_degree != 0 && machine_.num_pes() > 1 &&
+        row.size() >= config_.hub_split_degree) {
+      expand_hub_split(pe, u, row);
+    } else if (config_.steal_threshold_degree != 0 && workers > 1 &&
+               row.size() >= config_.steal_threshold_degree) {
+      expand_stolen(pe, u, row);
+    } else {
+      for (const graph::Neighbor& nb : row) {
+        pe.charge(config_.costs.edge_relax_us);
+        create_update(pe, nb.dst, u.dist + nb.weight);
+      }
+    }
+    ++state_of(pe).expanded;
+    mark_processed(state_of(pe), u.dist);
+  }
+
+  /// Work-stealing expansion: split the row into chunks on the shared
+  /// per-process work queue; whichever process PE goes idle first pulls
+  /// and relaxes them.  Each chunk is itself accounted as an update
+  /// (created here, processed by the puller) so the quiescence counters
+  /// observe in-flight chunks.
+  void expand_stolen(Pe& pe, const Update& u,
+                     std::span<const graph::Neighbor> row) {
+    PeState& owner = state_of(pe);
+    const runtime::Topology& topo = machine_.topology();
+    const std::uint32_t proc = topo.proc_of(pe.id());
+    const std::size_t request_bucket = owner.histogram->bucket_of(u.dist);
+
+    std::size_t begin = 0;
+    while (begin < row.size()) {
+      const std::size_t end =
+          std::min(begin + config_.steal_chunk_edges, row.size());
+      ++owner.created;
+      owner.histogram->increment(request_bucket);
+      pe.charge(config_.steal_queue_op_us);
+      steal_queues_[proc].push_back(
+          StealChunk{u.vertex, u.dist, begin, end, request_bucket});
+      begin = end;
+    }
+
+    // Wake sleeping siblings: an empty message lands in their task
+    // queue, after which their idle handler finds the shared queue.
+    const PeId first = topo.first_pe_of_proc(proc);
+    for (std::uint32_t w = 0; w < topo.pes_per_proc; ++w) {
+      const PeId sibling = first + w;
+      if (sibling != pe.id()) {
+        pe.send(sibling, 8, [](Pe&) {});
+      }
+    }
+  }
+
+  /// 1.5-D-style hub split: scatter the hub's edge chunks round-robin
+  /// across every worker PE; each recipient relaxes its chunk against
+  /// the shared CSR (the graph is replicated read-only in the
+  /// simulation, standing in for a 1.5-D edge distribution).  Chunks
+  /// are accounted exactly like stolen chunks.
+  void expand_hub_split(Pe& pe, const Update& u,
+                        std::span<const graph::Neighbor> row) {
+    PeState& owner = state_of(pe);
+    const std::size_t request_bucket = owner.histogram->bucket_of(u.dist);
+    const std::uint32_t pes = machine_.num_pes();
+    const std::size_t chunk_len =
+        std::max<std::size_t>(config_.steal_chunk_edges,
+                              (row.size() + pes - 1) / pes);
+
+    std::size_t begin = 0;
+    std::uint32_t next = pe.id();
+    while (begin < row.size()) {
+      const std::size_t end = std::min(begin + chunk_len, row.size());
+      ++owner.created;
+      owner.histogram->increment(request_bucket);
+
+      const PeId target = next % pes;
+      next = target + 1;
+      auto relax_chunk = [this, d = u.dist, request_bucket, begin, end,
+                          vertex = u.vertex](Pe& worker) {
+        const auto chunk_row = csr_.out_neighbors(vertex);
+        for (std::size_t i = begin; i < end; ++i) {
+          worker.charge(config_.costs.edge_relax_us);
+          create_update(worker, chunk_row[i].dst,
+                        d + chunk_row[i].weight);
+        }
+        PeState& state = state_of(worker);
+        ++state.processed;
+        state.histogram->decrement(request_bucket);
+      };
+      if (target == pe.id()) {
+        relax_chunk(pe);
+      } else {
+        pe.send(target, 24, std::move(relax_chunk));
+      }
+      begin = end;
+    }
+  }
+
+  /// Pulls up to one chunk from this process's shared work queue and
+  /// relaxes it.  Returns true if a chunk was processed.
+  bool drain_steal_queue(Pe& pe) {
+    if (config_.steal_threshold_degree == 0) return false;
+    auto& queue = steal_queues_[machine_.topology().proc_of(pe.id())];
+    if (queue.empty()) return false;
+    pe.charge(config_.steal_queue_op_us);
+    const StealChunk chunk = queue.front();
+    queue.pop_front();
+    const auto row = csr_.out_neighbors(chunk.vertex);
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      pe.charge(config_.costs.edge_relax_us);
+      create_update(pe, row[i].dst, chunk.dist + row[i].weight);
+    }
+    PeState& state = state_of(pe);
+    ++state.processed;
+    state.histogram->decrement(chunk.bucket);
+    return true;
+  }
+
+  void mark_processed(PeState& state, Dist d) {
+    ++state.processed;
+    state.histogram->decrement(state.histogram->bucket_of(d));
+  }
+
+  // ---- introspection cycle ----------------------------------------------
+
+  std::size_t payload_width() const { return config_.num_buckets + 3; }
+
+  void contribute(Pe& pe) {
+    PeState& state = state_of(pe);
+    if (state.terminated) return;
+    std::vector<double> payload;
+    payload.reserve(payload_width());
+    state.histogram->append_to(&payload);
+    payload.push_back(static_cast<double>(state.created));
+    payload.push_back(static_cast<double>(state.processed));
+    payload.push_back(
+        static_cast<double>(count_finalized(pe, state)));
+    reducer_->contribute(pe, payload);
+  }
+
+  /// Counts owned vertices whose distance is provably final: finite and
+  /// in a bucket strictly below the lowest globally active bucket
+  /// (paper's abandoned early-termination metric; only computed when the
+  /// feature is enabled).
+  std::uint64_t count_finalized(Pe& pe, const PeState& state) {
+    if (!config_.use_vertex_termination) return 0;
+    pe.charge(config_.finalize_scan_us_per_vertex *
+              static_cast<double>(state.dist.size()));
+    std::uint64_t finalized = 0;
+    for (const Dist d : state.dist) {
+      if (d != graph::kInfDist &&
+          state.histogram->bucket_of(d) < state.lowest_active_bucket) {
+        ++finalized;
+      }
+    }
+    return finalized;
+  }
+
+  void build_reducer() {
+    reducer_ = std::make_unique<runtime::Reducer>(
+        machine_, payload_width(),
+        [this](Pe& pe, std::uint64_t cycle,
+               const std::vector<double>& sum)
+            -> std::optional<std::vector<double>> {
+          return on_root(pe, cycle, sum);
+        },
+        [this](Pe& pe, std::uint64_t cycle,
+               const std::vector<double>& payload) {
+          on_broadcast(pe, cycle, payload);
+        });
+  }
+
+  /// Root handler: Algorithm 1 — check quiescence, else walk the global
+  /// histogram for the two thresholds; always broadcast.
+  std::optional<std::vector<double>> on_root(
+      Pe& pe, std::uint64_t cycle, const std::vector<double>& sum) {
+    const double created = sum[config_.num_buckets];
+    const double processed = sum[config_.num_buckets + 1];
+    const double finalized = sum[config_.num_buckets + 2];
+    // Early termination on the finalized-vertex metric (needs the oracle
+    // reachable count; see AcicConfig::use_vertex_termination).
+    if (config_.use_vertex_termination &&
+        config_.expected_reachable > 0 &&
+        finalized >= static_cast<double>(config_.expected_reachable)) {
+      return std::vector<double>{0.0, 0.0, 1.0, 0.0};  // terminate
+    }
+    const bool equal = created == processed;
+    if (equal && root_armed_ && created == root_last_created_) {
+      return std::vector<double>{0.0, 0.0, 1.0, 0.0};  // terminate
+    }
+    root_armed_ = equal;
+    root_last_created_ = created;
+
+    const std::vector<double> histogram(sum.begin(),
+                                        sum.begin() + config_.num_buckets);
+    Thresholds t;
+    if (config_.threshold_policy == ThresholdPolicyKind::kWorkWindow) {
+      t = compute_thresholds_work_window(histogram, machine_.num_pes(),
+                                         config_.work_window);
+    } else {
+      const ThresholdPolicy policy{config_.p_tram, config_.p_pq,
+                                   config_.low_activity_factor};
+      t = compute_thresholds(histogram, machine_.num_pes(), policy);
+    }
+
+    if (config_.record_histograms) {
+      HistogramSnapshot snap;
+      snap.cycle = cycle;
+      snap.time_us = pe.now();
+      snap.counts = histogram;
+      snap.active_updates = created - processed;
+      snap.t_tram = t.t_tram;
+      snap.t_pq = t.t_pq;
+      snapshots_.push_back(std::move(snap));
+    }
+
+    std::size_t lowest_active = config_.num_buckets;
+    for (std::size_t b = 0; b < histogram.size(); ++b) {
+      if (histogram[b] > 0.0) {
+        lowest_active = b;
+        break;
+      }
+    }
+    return std::vector<double>{static_cast<double>(t.t_tram),
+                               static_cast<double>(t.t_pq), 0.0,
+                               static_cast<double>(lowest_active)};
+  }
+
+  /// Early-termination cleanup: every update still waiting in pq,
+  /// pq_hold or tram_hold is abandoned (counted processed so the
+  /// created == processed conservation invariant survives).
+  void abandon_remaining(PeState& state) {
+    while (!state.pq.empty()) {
+      mark_processed(state, state.pq.top().dist);
+      ++state.superseded;
+      state.pq.pop();
+    }
+    std::vector<Update> leftovers;
+    state.pq_hold.release_up_to(config_.num_buckets - 1, &leftovers);
+    state.tram_hold.release_up_to(config_.num_buckets - 1, &leftovers);
+    for (const Update& u : leftovers) {
+      mark_processed(state, u.dist);
+      ++state.superseded;
+    }
+  }
+
+  /// Broadcast handler: adopt the new thresholds, release holds in
+  /// increasing bucket order, flush tramlib, and re-contribute.
+  void on_broadcast(Pe& pe, std::uint64_t /*cycle*/,
+                    const std::vector<double>& payload) {
+    PeState& state = state_of(pe);
+    if (payload[2] != 0.0) {
+      state.terminated = true;
+      abandon_remaining(state);
+      return;
+    }
+    state.t_tram = static_cast<std::size_t>(payload[0]);
+    state.t_pq = static_cast<std::size_t>(payload[1]);
+    state.lowest_active_bucket = static_cast<std::size_t>(payload[3]);
+
+    release_buffer_.clear();
+    state.tram_hold.release_up_to(state.t_tram, &release_buffer_);
+    for (const Update& u : release_buffer_) {
+      tram_->insert(pe, partition_.owner(u.vertex), u);
+    }
+
+    release_buffer_.clear();
+    state.pq_hold.release_up_to(state.t_pq, &release_buffer_);
+    for (const Update& u : release_buffer_) {
+      pe.charge(config_.costs.pq_op_us);
+      state.pq.push(u);
+    }
+
+    // The paper's manual flush: guarantees buffered updates eventually
+    // move even when the tail has too little traffic to fill buffers.
+    tram_->flush_all(pe);
+
+    const PeId id = pe.id();
+    machine_.schedule_at(pe.now() + config_.reduction_interval_us, id,
+                         [this](Pe& next) { contribute(next); });
+  }
+
+  runtime::Machine& machine_;
+  const graph::Csr& csr_;
+  const graph::Partition1D& partition_;
+  VertexId source_;
+  AcicConfig config_;
+
+  std::vector<PeState> pes_;
+  std::unique_ptr<tram::Tram<Update>> tram_;
+  std::unique_ptr<runtime::Reducer> reducer_;
+
+  // Root-side termination double-check state.
+  bool root_armed_ = false;
+  double root_last_created_ = -1.0;
+
+  std::vector<HistogramSnapshot> snapshots_;
+  std::vector<Update> release_buffer_;
+  /// Shared per-process work-stealing queues (shared-memory structures;
+  /// pushes/pops charge an atomic-operation cost).
+  std::vector<std::deque<StealChunk>> steal_queues_;
+};
+
+}  // namespace
+
+AcicRunResult acic_sssp(runtime::Machine& machine, const graph::Csr& csr,
+                        const graph::Partition1D& partition,
+                        VertexId source, const AcicConfig& config,
+                        runtime::SimTime time_limit_us) {
+  AcicEngine engine(machine, csr, partition, source, config);
+  return engine.run(time_limit_us);
+}
+
+}  // namespace acic::core

@@ -1,0 +1,79 @@
+#pragma once
+// ACIC — Asynchronous Continuous Introspection and Control (the paper's
+// core contribution).
+//
+// A fully asynchronous, label-correcting SSSP driven by updates
+// u = (v, d), modulated by a continuous cycle of histogram reductions and
+// threshold broadcasts:
+//
+//   creation ──► within t_tram? ──► tramlib ──► arrival at owner PE
+//        │             │no                           │
+//        │         tram_hold ◄─ released by bcast    ├─ worse? rejected
+//        │                                           └─ better: store d,
+//        │                                              within t_pq? → pq
+//        │                                              else pq_hold
+//        └── histogram bucket incremented
+//   PE idle ──► pop pq in increasing d ──► still current (dist==d)?
+//                                           └─ yes: expand out-edges
+//                                              (create onward updates)
+//
+// Termination: created/processed counters ride the histogram reduction;
+// the root terminates after two consecutive cycles with equal, unchanged
+// counters (paper §II.D).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/config.hpp"
+#include "src/graph/csr.hpp"
+#include "src/graph/partition.hpp"
+#include "src/runtime/machine.hpp"
+#include "src/sssp/result.hpp"
+
+namespace acic::core {
+
+/// Global histogram observed at the root after one reduction cycle
+/// (recorded when AcicConfig::record_histograms is set; fig. 1 material).
+struct HistogramSnapshot {
+  std::uint64_t cycle = 0;
+  runtime::SimTime time_us = 0.0;
+  std::vector<double> counts;
+  double active_updates = 0.0;
+  std::size_t t_tram = 0;
+  std::size_t t_pq = 0;
+};
+
+/// Counts of updates passing through each stage of the fig. 2 lifecycle
+/// diagram (create → tram/tram_hold → arrival → pq/pq_hold → expand or
+/// reject).
+struct LifecycleCounts {
+  std::uint64_t created = 0;
+  std::uint64_t sent_directly = 0;    // within t_tram at creation
+  std::uint64_t held_in_tram = 0;     // waited in tram_hold
+  std::uint64_t rejected_on_arrival = 0;
+  std::uint64_t entered_pq_directly = 0;  // within t_pq on acceptance
+  std::uint64_t held_in_pq_hold = 0;
+  std::uint64_t superseded_in_pq = 0;  // popped stale (wasted)
+  std::uint64_t expanded = 0;          // generated onward updates
+};
+
+struct AcicRunResult {
+  sssp::SsspResult sssp;
+  std::uint64_t reduction_cycles = 0;
+  bool hit_time_limit = false;
+  LifecycleCounts lifecycle;
+  std::vector<HistogramSnapshot> histograms;
+  /// Per-worker busy time, for load-imbalance analysis.
+  std::vector<runtime::SimTime> pe_busy_us;
+};
+
+/// Runs ACIC SSSP on `machine` (freshly constructed; one run per machine
+/// so simulated time starts at zero).  `partition` must have exactly
+/// machine.num_pes() parts covering csr's vertices.
+AcicRunResult acic_sssp(runtime::Machine& machine, const graph::Csr& csr,
+                        const graph::Partition1D& partition,
+                        graph::VertexId source, const AcicConfig& config,
+                        runtime::SimTime time_limit_us =
+                            runtime::kNoTimeLimit);
+
+}  // namespace acic::core

@@ -1,0 +1,56 @@
+#pragma once
+// Bucketed hold structures: tram_hold (sender side) and pq_hold
+// (receiver side), paper §II.C.
+//
+// A hold is an array of per-bucket lists.  Updates above the current
+// threshold wait here; when a broadcast raises the threshold, the
+// release() call drains all buckets up to the new threshold *in
+// increasing bucket order*, so the lowest-distance updates move first —
+// the paper calls this out explicitly for tram_hold.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sssp/update.hpp"
+#include "src/util/assert.hpp"
+
+namespace acic::core {
+
+class BucketedHold {
+ public:
+  explicit BucketedHold(std::size_t num_buckets)
+      : buckets_(num_buckets) {}
+
+  void put(std::size_t bucket, const sssp::Update& update) {
+    ACIC_ASSERT(bucket < buckets_.size());
+    buckets_[bucket].push_back(update);
+    ++size_;
+  }
+
+  /// Moves every held update in buckets [0, threshold] into `out`, lowest
+  /// bucket first (and FIFO within a bucket).
+  void release_up_to(std::size_t threshold,
+                     std::vector<sssp::Update>* out) {
+    const std::size_t last = std::min(threshold, buckets_.size() - 1);
+    for (std::size_t b = 0; b <= last; ++b) {
+      if (buckets_[b].empty()) continue;
+      size_ -= buckets_[b].size();
+      out->insert(out->end(), buckets_[b].begin(), buckets_[b].end());
+      buckets_[b].clear();
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::size_t bucket_size(std::size_t bucket) const {
+    ACIC_ASSERT(bucket < buckets_.size());
+    return buckets_[bucket].size();
+  }
+
+ private:
+  std::vector<std::vector<sssp::Update>> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace acic::core

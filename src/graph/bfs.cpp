@@ -1,0 +1,61 @@
+#include "src/graph/bfs.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/assert.hpp"
+
+namespace acic::graph {
+
+std::vector<std::uint32_t> bfs_hops(const Csr& csr, VertexId source) {
+  ACIC_ASSERT(source < csr.num_vertices());
+  std::vector<std::uint32_t> hops(csr.num_vertices(), kUnreachedHops);
+  hops[source] = 0;
+  std::queue<VertexId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (const Neighbor& nb : csr.out_neighbors(v)) {
+      if (hops[nb.dst] == kUnreachedHops) {
+        hops[nb.dst] = hops[v] + 1;
+        frontier.push(nb.dst);
+      }
+    }
+  }
+  return hops;
+}
+
+std::size_t count_reachable(const Csr& csr, VertexId source) {
+  const auto hops = bfs_hops(csr, source);
+  std::size_t count = 0;
+  for (const std::uint32_t h : hops) {
+    if (h != kUnreachedHops) ++count;
+  }
+  return count;
+}
+
+std::uint32_t eccentricity_hops(const Csr& csr, VertexId source) {
+  const auto hops = bfs_hops(csr, source);
+  std::uint32_t best = 0;
+  for (const std::uint32_t h : hops) {
+    if (h != kUnreachedHops) best = std::max(best, h);
+  }
+  return best;
+}
+
+std::uint32_t estimate_diameter_hops(const Csr& csr, VertexId start) {
+  if (csr.num_vertices() == 0) return 0;
+  const auto first = bfs_hops(csr, start);
+  VertexId farthest = start;
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    if (first[v] != kUnreachedHops && first[v] >= best) {
+      best = first[v];
+      farthest = v;
+    }
+  }
+  return eccentricity_hops(csr, farthest);
+}
+
+}  // namespace acic::graph

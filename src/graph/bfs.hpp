@@ -1,0 +1,36 @@
+#pragma once
+// Sequential BFS utilities: reachability sets (used to cross-check the
+// SSSP algorithms' notion of "unreachable"), unweighted hop distances,
+// and a diameter estimate for characterizing workloads (the paper's
+// random graphs are low-diameter; its future-work road graphs are
+// high-diameter — these helpers quantify that).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/graph/csr.hpp"
+#include "src/graph/types.hpp"
+
+namespace acic::graph {
+
+inline constexpr std::uint32_t kUnreachedHops =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Hop counts from `source` along out-edges; kUnreachedHops where
+/// unreachable.
+std::vector<std::uint32_t> bfs_hops(const Csr& csr, VertexId source);
+
+/// Number of vertices reachable from `source` (including itself).
+std::size_t count_reachable(const Csr& csr, VertexId source);
+
+/// The largest finite hop count from `source` (its eccentricity in
+/// hops); 0 if nothing else is reachable.
+std::uint32_t eccentricity_hops(const Csr& csr, VertexId source);
+
+/// Lower-bound diameter estimate by the standard double-sweep
+/// heuristic: BFS from `start`, then BFS again from the farthest vertex
+/// found.  Exact on trees; a good lower bound elsewhere.
+std::uint32_t estimate_diameter_hops(const Csr& csr, VertexId start = 0);
+
+}  // namespace acic::graph

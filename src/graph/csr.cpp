@@ -1,0 +1,53 @@
+#include "src/graph/csr.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace acic::graph {
+
+Csr Csr::from_edge_list(const EdgeList& list) {
+  ACIC_ASSERT_MSG(list.endpoints_in_range(),
+                  "edge endpoints must be < num_vertices");
+  const VertexId n = list.num_vertices();
+  Csr csr;
+  csr.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  for (const Edge& e : list.edges()) {
+    ++csr.offsets_[e.src + 1];
+  }
+  for (std::size_t v = 1; v <= n; ++v) {
+    csr.offsets_[v] += csr.offsets_[v - 1];
+  }
+
+  csr.neighbors_.resize(list.num_edges());
+  std::vector<std::size_t> cursor(csr.offsets_.begin(),
+                                  csr.offsets_.end() - 1);
+  for (const Edge& e : list.edges()) {
+    csr.neighbors_[cursor[e.src]++] = Neighbor{e.dst, e.weight};
+  }
+
+  // Sort each adjacency row by destination for deterministic traversal
+  // order regardless of how the generator emitted edges.
+  for (VertexId v = 0; v < n; ++v) {
+    auto row = std::span<Neighbor>{
+        csr.neighbors_.data() + csr.offsets_[v],
+        csr.offsets_[v + 1] - csr.offsets_[v]};
+    std::sort(row.begin(), row.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.dst != b.dst) return a.dst < b.dst;
+                return a.weight < b.weight;
+              });
+  }
+  return csr;
+}
+
+std::size_t Csr::max_out_degree() const {
+  std::size_t best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    best = std::max(best, out_degree(v));
+  }
+  return best;
+}
+
+}  // namespace acic::graph

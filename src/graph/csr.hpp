@@ -1,0 +1,54 @@
+#pragma once
+// Compressed-sparse-row adjacency: the read-only runtime representation of
+// a directed weighted graph.  One global CSR is built per experiment; the
+// simulated PEs hold views into contiguous vertex ranges of it (the
+// paper's 1-D partitioning), so no adjacency data is ever copied per PE.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/edge_list.hpp"
+#include "src/graph/types.hpp"
+
+namespace acic::graph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds CSR from an edge list by counting sort on the source vertex;
+  /// the input does not need to be pre-sorted.
+  static Csr from_edge_list(const EdgeList& list);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0
+                            : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  std::size_t num_edges() const { return neighbors_.size(); }
+
+  std::span<const Neighbor> out_neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v],
+            offsets_[v + 1] - offsets_[v]};
+  }
+
+  std::size_t out_degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Number of edges whose source lies in [first, last).
+  std::size_t edges_in_range(VertexId first, VertexId last) const {
+    return offsets_[last] - offsets_[first];
+  }
+
+  std::size_t max_out_degree() const;
+
+  const std::vector<std::size_t>& offsets() const { return offsets_; }
+  const std::vector<Neighbor>& neighbors() const { return neighbors_; }
+
+ private:
+  std::vector<std::size_t> offsets_;   // size |V|+1
+  std::vector<Neighbor> neighbors_;    // size |E|
+};
+
+}  // namespace acic::graph

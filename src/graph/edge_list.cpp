@@ -1,0 +1,50 @@
+#include "src/graph/edge_list.hpp"
+
+#include <algorithm>
+
+namespace acic::graph {
+
+void EdgeList::sort_by_source() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.weight < b.weight;
+  });
+}
+
+void EdgeList::remove_self_loops() {
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const Edge& e) { return e.src == e.dst; }),
+               edges_.end());
+}
+
+void EdgeList::remove_duplicates() {
+  sort_by_source();
+  // After sorting, duplicates of a (src, dst) pair are adjacent and the
+  // lightest weight comes first, so unique() keeps the minimum.
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst;
+                           }),
+               edges_.end());
+}
+
+EdgeList EdgeList::symmetrized() const {
+  EdgeList out(num_vertices_, {});
+  out.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    out.add(e.src, e.dst, e.weight);
+    if (e.src != e.dst) out.add(e.dst, e.src, e.weight);
+  }
+  out.sort_by_source();
+  return out;
+}
+
+bool EdgeList::endpoints_in_range() const {
+  for (const Edge& e : edges_) {
+    if (e.src >= num_vertices_ || e.dst >= num_vertices_) return false;
+  }
+  return true;
+}
+
+}  // namespace acic::graph

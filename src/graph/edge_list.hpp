@@ -1,0 +1,55 @@
+#pragma once
+// Edge-list container: the interchange format produced by all generators
+// and consumed by the CSR builder and the text IO layer.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/types.hpp"
+
+namespace acic::graph {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  void set_num_vertices(VertexId n) { num_vertices_ = n; }
+
+  std::size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& edges() { return edges_; }
+
+  void add(VertexId src, VertexId dst, Weight w) {
+    edges_.push_back(Edge{src, dst, w});
+  }
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  /// Sorts edges by (src, dst, weight); required by the CSR builder and by
+  /// the paper's artifact convention ("sorted ascending by origin").
+  void sort_by_source();
+
+  /// Removes self-loops (PaRMAT's -noEdgeToSelf).
+  void remove_self_loops();
+
+  /// Removes duplicate (src, dst) pairs keeping the lightest weight
+  /// (PaRMAT's -noDuplicateEdges, adapted for weighted edges).  Requires
+  /// the list to be sorted first; sorts if necessary.
+  void remove_duplicates();
+
+  /// True if every endpoint is < num_vertices().
+  bool endpoints_in_range() const;
+
+  /// Returns a copy with the reverse of every edge added (same weight),
+  /// making the graph effectively undirected — used by the connected-
+  /// components algorithms, which propagate labels both ways.
+  EdgeList symmetrized() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace acic::graph

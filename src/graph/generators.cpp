@@ -1,0 +1,175 @@
+#include "src/graph/generators.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace acic::graph {
+
+namespace {
+
+using util::Xoshiro256;
+using util::derive_seed;
+
+/// Number of levels needed so the RMAT recursion addresses every vertex.
+int levels_for(VertexId n) {
+  int levels = 0;
+  while ((VertexId{1} << levels) < n) ++levels;
+  return levels;
+}
+
+Weight draw_weight(Xoshiro256& rng, const GenParams& p) {
+  return rng.next_double(p.min_weight, p.max_weight);
+}
+
+void finalize(EdgeList& list, const GenParams& p) {
+  if (p.remove_self_loops) list.remove_self_loops();
+  if (p.remove_duplicates) list.remove_duplicates();
+  list.sort_by_source();
+}
+
+}  // namespace
+
+EdgeList generate_rmat(const GenParams& params, const RmatParams& rmat) {
+  ACIC_ASSERT(params.num_vertices > 0);
+  const double d = 1.0 - rmat.a - rmat.b - rmat.c;
+  ACIC_ASSERT_MSG(d > 0.0, "RMAT probabilities must sum below 1");
+
+  Xoshiro256 structure_rng(derive_seed(params.seed, 0));
+  Xoshiro256 weight_rng(derive_seed(params.seed, 1));
+
+  const int levels = levels_for(params.num_vertices);
+  EdgeList list(params.num_vertices, {});
+  list.reserve(params.num_edges);
+
+  for (std::uint64_t i = 0; i < params.num_edges; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (int level = 0; level < levels; ++level) {
+      // Jitter the quadrant probabilities per level (PaRMAT-style noise)
+      // so the degree distribution is power-law but not exactly fractal.
+      const double na =
+          rmat.a * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
+      const double nb =
+          rmat.b * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
+      const double nc =
+          rmat.c * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
+      const double nd =
+          d * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
+      const double total = na + nb + nc + nd;
+      const double r = structure_rng.next_double() * total;
+      src <<= 1;
+      dst <<= 1;
+      if (r < na) {
+        // top-left quadrant: no bits set
+      } else if (r < na + nb) {
+        dst |= 1;
+      } else if (r < na + nb + nc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    // When |V| is not a power of two the recursion can address vertices
+    // past the end; fold them back uniformly.
+    if (src >= params.num_vertices) src %= params.num_vertices;
+    if (dst >= params.num_vertices) dst %= params.num_vertices;
+    list.add(src, dst, draw_weight(weight_rng, params));
+  }
+  finalize(list, params);
+  return list;
+}
+
+EdgeList generate_uniform_random(const GenParams& params) {
+  ACIC_ASSERT(params.num_vertices > 0);
+  Xoshiro256 structure_rng(derive_seed(params.seed, 0));
+  Xoshiro256 weight_rng(derive_seed(params.seed, 1));
+
+  EdgeList list(params.num_vertices, {});
+  list.reserve(params.num_edges);
+  for (std::uint64_t i = 0; i < params.num_edges; ++i) {
+    const auto src =
+        static_cast<VertexId>(structure_rng.next_below(params.num_vertices));
+    const auto dst =
+        static_cast<VertexId>(structure_rng.next_below(params.num_vertices));
+    list.add(src, dst, draw_weight(weight_rng, params));
+  }
+  finalize(list, params);
+  return list;
+}
+
+EdgeList generate_erdos_renyi(const GenParams& params) {
+  ACIC_ASSERT(params.num_vertices > 1);
+  const auto n = static_cast<std::uint64_t>(params.num_vertices);
+  ACIC_ASSERT_MSG(params.num_edges <= n * (n - 1),
+                  "G(n, m) requires m <= n*(n-1) distinct directed edges");
+
+  Xoshiro256 structure_rng(derive_seed(params.seed, 0));
+  Xoshiro256 weight_rng(derive_seed(params.seed, 1));
+
+  // Rejection-sample distinct (src, dst) pairs.  For the sparse regimes we
+  // target (m << n^2) the expected number of rejections is negligible.
+  std::vector<Edge> edges;
+  edges.reserve(params.num_edges);
+  auto key = [n](VertexId s, VertexId t) {
+    return static_cast<std::uint64_t>(s) * n + t;
+  };
+  struct Hash {
+    std::size_t operator()(std::uint64_t k) const noexcept {
+      util::SplitMix64 sm(k);
+      return static_cast<std::size_t>(sm.next());
+    }
+  };
+  std::unordered_set<std::uint64_t, Hash> used;
+  used.reserve(params.num_edges * 2);
+  while (edges.size() < params.num_edges) {
+    const auto src = static_cast<VertexId>(structure_rng.next_below(n));
+    const auto dst = static_cast<VertexId>(structure_rng.next_below(n));
+    if (src == dst) continue;
+    if (!used.insert(key(src, dst)).second) continue;
+    edges.push_back(Edge{src, dst, draw_weight(weight_rng, params)});
+  }
+  EdgeList list(params.num_vertices, std::move(edges));
+  list.sort_by_source();
+  return list;
+}
+
+EdgeList generate_grid_road(const GridParams& grid, std::uint64_t seed,
+                            Weight min_weight, Weight max_weight) {
+  ACIC_ASSERT(grid.width > 0 && grid.height > 0);
+  const VertexId n = grid.width * grid.height;
+  Xoshiro256 weight_rng(derive_seed(seed, 1));
+  Xoshiro256 shortcut_rng(derive_seed(seed, 2));
+
+  EdgeList list(n, {});
+  auto id = [&](VertexId x, VertexId y) { return y * grid.width + x; };
+  auto add_bidirectional = [&](VertexId u, VertexId v) {
+    const Weight w = weight_rng.next_double(min_weight, max_weight);
+    list.add(u, v, w);
+    list.add(v, u, w);
+  };
+  for (VertexId y = 0; y < grid.height; ++y) {
+    for (VertexId x = 0; x < grid.width; ++x) {
+      if (x + 1 < grid.width) add_bidirectional(id(x, y), id(x + 1, y));
+      if (y + 1 < grid.height) add_bidirectional(id(x, y), id(x, y + 1));
+    }
+  }
+  const auto num_shortcuts =
+      static_cast<std::uint64_t>(grid.shortcut_fraction * n);
+  for (std::uint64_t i = 0; i < num_shortcuts; ++i) {
+    const auto u = static_cast<VertexId>(shortcut_rng.next_below(n));
+    const auto v = static_cast<VertexId>(shortcut_rng.next_below(n));
+    if (u == v) continue;
+    // Highways: longer but proportionally cheap relative to hop count.
+    const Weight w = weight_rng.next_double(min_weight, max_weight) * 4.0;
+    list.add(u, v, w);
+    list.add(v, u, w);
+  }
+  list.sort_by_source();
+  return list;
+}
+
+}  // namespace acic::graph

@@ -1,0 +1,73 @@
+#pragma once
+// Synthetic graph generators.
+//
+// The paper evaluates on two workloads, both 2^26 vertices / 2^30 edges:
+//   * RMAT scale-free graphs (power-law degree distribution; Graph500
+//     parameters a=0.57, b=0.19, c=0.19, d=0.05), produced in the paper
+//     by the PaRMAT generator.
+//   * "random" graphs where both endpoints of every edge are chosen
+//     uniformly at random (low diameter, near-uniform degrees).
+// We additionally provide an Erdős–Rényi G(n, m) generator and a 2-D
+// grid "road" generator, the high-diameter workload the paper's
+// future-work section calls out (GAP Road-style).
+//
+// All generators are deterministic in (params, seed).  Structure and
+// weights draw from independent RNG streams so the same topology can be
+// re-weighted by changing only the weight seed, matching the paper's
+// per-trial reseeding protocol.
+
+#include <cstdint>
+
+#include "src/graph/edge_list.hpp"
+
+namespace acic::graph {
+
+/// Parameters shared by the random-ish generators.
+struct GenParams {
+  VertexId num_vertices = 1u << 14;
+  std::uint64_t num_edges = 1ull << 18;
+  std::uint64_t seed = 1;
+  /// Edge weights drawn uniformly from [min_weight, max_weight).
+  Weight min_weight = 1.0;
+  Weight max_weight = 256.0;
+  bool remove_self_loops = true;   // PaRMAT -noEdgeToSelf
+  bool remove_duplicates = false;  // PaRMAT -noDuplicateEdges
+};
+
+/// RMAT recursive-matrix parameters (defaults are the Graph500 values the
+/// paper's generator uses).
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  /// d is implicitly 1 - a - b - c.
+  /// Per-level probability noise, as in PaRMAT, to avoid exact
+  /// self-similar artifacts.
+  double noise = 0.1;
+};
+
+/// Scale-free RMAT graph (Chakrabarti, Zhan & Faloutsos 2004).
+EdgeList generate_rmat(const GenParams& params, const RmatParams& rmat = {});
+
+/// The paper's "random" workload: for each edge, origin and destination
+/// are independent uniform draws over the vertex set.
+EdgeList generate_uniform_random(const GenParams& params);
+
+/// Erdős–Rényi G(n, m): m distinct edges sampled uniformly without
+/// replacement (rejection sampling on the (src, dst) pair).
+EdgeList generate_erdos_renyi(const GenParams& params);
+
+/// High-diameter "road network" surrogate: a width × height 4-connected
+/// grid with bidirectional weighted edges plus a few random shortcuts
+/// (params.num_edges is ignored; the grid defines the edge count; extra
+/// shortcut edges are controlled by `shortcut_fraction`).
+struct GridParams {
+  VertexId width = 128;
+  VertexId height = 128;
+  /// Fraction of |V| added as long-range shortcut edges (highways).
+  double shortcut_fraction = 0.01;
+};
+EdgeList generate_grid_road(const GridParams& grid, std::uint64_t seed,
+                            Weight min_weight = 1.0, Weight max_weight = 16.0);
+
+}  // namespace acic::graph

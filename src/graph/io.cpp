@@ -1,0 +1,60 @@
+#include "src/graph/io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace acic::graph {
+
+bool write_edge_list_csv(const EdgeList& list, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const Edge& e : list.edges()) {
+    std::fprintf(f, "%u,%u,%.17g\n", e.src, e.dst, e.weight);
+  }
+  std::fclose(f);
+  return true;
+}
+
+EdgeList read_edge_list_csv(const std::string& path, VertexId num_vertices) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open edge list: " + path);
+  }
+  EdgeList list;
+  char line[256];
+  std::size_t line_no = 0;
+  VertexId max_vertex = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    ++line_no;
+    // Skip blank lines and comments.
+    if (line[0] == '\n' || line[0] == '#' || line[0] == '\0') continue;
+    unsigned long src = 0;
+    unsigned long dst = 0;
+    double weight = 1.0;
+    // Accept both the artifact's CSV (src,dst,weight from
+    // rmat_preprocess.py) and PaRMAT's whitespace-separated out.txt.
+    int fields = std::sscanf(line, "%lu ,%lu ,%lf", &src, &dst, &weight);
+    if (fields < 2) {
+      fields = std::sscanf(line, "%lu %lu %lf", &src, &dst, &weight);
+    }
+    if (fields < 2) {
+      std::fclose(f);
+      throw std::runtime_error("malformed edge at " + path + ":" +
+                               std::to_string(line_no));
+    }
+    list.add(static_cast<VertexId>(src), static_cast<VertexId>(dst),
+             weight);
+    max_vertex = std::max({max_vertex, static_cast<VertexId>(src),
+                           static_cast<VertexId>(dst)});
+  }
+  std::fclose(f);
+  list.set_num_vertices(num_vertices != 0 ? num_vertices : max_vertex + 1);
+  if (!list.endpoints_in_range()) {
+    throw std::runtime_error("edge endpoint exceeds num_vertices in " + path);
+  }
+  return list;
+}
+
+}  // namespace acic::graph

@@ -1,0 +1,58 @@
+#include "src/graph/partition.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace acic::graph {
+
+Partition1D Partition1D::block(VertexId num_vertices,
+                               std::uint32_t num_parts) {
+  ACIC_ASSERT(num_parts > 0);
+  std::vector<VertexId> starts(num_parts + 1);
+  const VertexId base = num_vertices / num_parts;
+  const VertexId extra = num_vertices % num_parts;
+  VertexId cursor = 0;
+  for (std::uint32_t p = 0; p < num_parts; ++p) {
+    starts[p] = cursor;
+    cursor += base + (p < extra ? 1 : 0);
+  }
+  starts[num_parts] = num_vertices;
+  ACIC_ASSERT(cursor == num_vertices);
+  return Partition1D(std::move(starts));
+}
+
+Partition1D Partition1D::balanced_edges(const Csr& csr,
+                                        std::uint32_t num_parts) {
+  ACIC_ASSERT(num_parts > 0);
+  const VertexId n = csr.num_vertices();
+  const double target =
+      static_cast<double>(csr.num_edges()) / static_cast<double>(num_parts);
+
+  std::vector<VertexId> starts(num_parts + 1, n);
+  starts[0] = 0;
+  VertexId v = 0;
+  for (std::uint32_t p = 1; p < num_parts; ++p) {
+    const auto goal = static_cast<std::size_t>(target * p);
+    // Advance to the first vertex whose prefix edge count reaches `goal`,
+    // but always give every remaining part at least one vertex when
+    // possible (avoids empty parts on extremely skewed graphs).
+    const VertexId min_start = std::min<VertexId>(v + 1, n);
+    while (v < n && csr.offsets()[v] < goal) ++v;
+    starts[p] = std::max(min_start, std::min(v, n));
+    v = starts[p];
+  }
+  starts[num_parts] = n;
+  for (std::uint32_t p = 0; p < num_parts; ++p) {
+    ACIC_ASSERT(starts[p] <= starts[p + 1]);
+  }
+  return Partition1D(std::move(starts));
+}
+
+std::uint32_t Partition1D::owner(VertexId v) const {
+  ACIC_ASSERT(v < num_vertices());
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), v);
+  return static_cast<std::uint32_t>(it - starts_.begin()) - 1;
+}
+
+}  // namespace acic::graph

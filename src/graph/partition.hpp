@@ -1,0 +1,58 @@
+#pragma once
+// Vertex partitioners.
+//
+// ACIC uses a one-dimensional partition: each PE owns a contiguous vertex
+// range and the out-edges of those vertices, exactly one copy of each
+// vertex exists, and only the owner may touch its state (paper §II.A).
+// Two 1-D flavors are provided:
+//   * block   — equal vertex counts (the paper's scheme; hub-heavy RMAT
+//               graphs load-imbalance under it, which the evaluation
+//               section leans on to explain ACIC's RMAT loss), and
+//   * balanced-edge — contiguous ranges chosen so each PE holds roughly
+//               equal out-edge counts (used by the ablation benches).
+// The 2-D grid partition used by the RIKEN Δ-stepping baseline lives in
+// partition2d.hpp.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr.hpp"
+#include "src/graph/types.hpp"
+
+namespace acic::graph {
+
+/// A 1-D partition of [0, num_vertices) into `num_parts` contiguous
+/// ranges.  Part p owns vertices [begin(p), end(p)).
+class Partition1D {
+ public:
+  /// Equal-vertex-count block partition.
+  static Partition1D block(VertexId num_vertices, std::uint32_t num_parts);
+
+  /// Contiguous ranges with approximately equal out-edge counts.
+  static Partition1D balanced_edges(const Csr& csr, std::uint32_t num_parts);
+
+  std::uint32_t num_parts() const {
+    return static_cast<std::uint32_t>(starts_.size() - 1);
+  }
+  VertexId num_vertices() const { return starts_.back(); }
+
+  VertexId begin(std::uint32_t part) const { return starts_[part]; }
+  VertexId end(std::uint32_t part) const { return starts_[part + 1]; }
+  VertexId size(std::uint32_t part) const {
+    return starts_[part + 1] - starts_[part];
+  }
+
+  /// Owner of vertex v (binary search over the range starts).
+  std::uint32_t owner(VertexId v) const;
+
+  const std::vector<VertexId>& starts() const { return starts_; }
+
+ private:
+  explicit Partition1D(std::vector<VertexId> starts)
+      : starts_(std::move(starts)) {}
+
+  // starts_[p] is the first vertex of part p; starts_[num_parts] == |V|.
+  std::vector<VertexId> starts_;
+};
+
+}  // namespace acic::graph

@@ -1,0 +1,62 @@
+#include "src/graph/partition2d.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace acic::graph {
+
+Partition2D::Partition2D(const Csr& csr, std::uint32_t rows,
+                         std::uint32_t cols)
+    : rows_(rows),
+      cols_(cols),
+      groups_(Partition1D::block(csr.num_vertices(), rows * cols)) {
+  ACIC_ASSERT(rows_ > 0 && cols_ > 0);
+  cell_edges_.resize(num_cells());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    const std::uint32_t src_col = col_of(state_owner(group_of(v)));
+    for (const Neighbor& nb : csr.out_neighbors(v)) {
+      const std::uint32_t dst_row = row_of(state_owner(group_of(nb.dst)));
+      cell_edges_[cell(dst_row, src_col)].push_back(
+          Edge{v, nb.dst, nb.weight});
+    }
+  }
+  for (auto& edges : cell_edges_) {
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& a, const Edge& b) {
+                if (a.src != b.src) return a.src < b.src;
+                return a.dst < b.dst;
+              });
+  }
+}
+
+Partition2D Partition2D::squarest(const Csr& csr, std::uint32_t num_pes) {
+  ACIC_ASSERT(num_pes > 0);
+  std::uint32_t best_rows = 1;
+  for (std::uint32_t r = 1; r * r <= num_pes; ++r) {
+    if (num_pes % r == 0) best_rows = r;
+  }
+  return Partition2D(csr, best_rows, num_pes / best_rows);
+}
+
+std::span<const Edge> Partition2D::cell_out_edges(std::uint32_t pe,
+                                                  VertexId v) const {
+  const std::vector<Edge>& edges = cell_edges_[pe];
+  const auto lower = std::lower_bound(
+      edges.begin(), edges.end(), v,
+      [](const Edge& e, VertexId vertex) { return e.src < vertex; });
+  auto upper = lower;
+  while (upper != edges.end() && upper->src == v) ++upper;
+  return {edges.data() + (lower - edges.begin()),
+          static_cast<std::size_t>(upper - lower)};
+}
+
+std::vector<std::size_t> Partition2D::edges_per_cell() const {
+  std::vector<std::size_t> counts(num_cells());
+  for (std::uint32_t pe = 0; pe < num_cells(); ++pe) {
+    counts[pe] = cell_edges_[pe].size();
+  }
+  return counts;
+}
+
+}  // namespace acic::graph

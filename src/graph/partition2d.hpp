@@ -1,0 +1,85 @@
+#pragma once
+// 2-D (grid) edge partition, as used by the RIKEN Graph500 Δ-stepping
+// baseline the paper compares against (Buluç–Madduri style).
+//
+// PEs form an R×C grid.  Vertices are block-split into R·C groups; the
+// *state* (tentative distance, buckets) of group g lives at its owner
+// cell (g mod R, g div R) — a bijection between groups and cells.  The
+// edge (u, w) is stored at the cell whose column matches u's owner and
+// whose row matches w's owner:
+//     cell( row_of(owner(group(w))),  col_of(owner(group(u))) ).
+// A frontier therefore broadcasts down the owner's *column* (every cell
+// holding its out-edges), and relaxation candidates travel along *rows*
+// to the destination owners — communication stays within rows and
+// columns, which is the latency/balance advantage the paper cites.  A
+// hub vertex's out-edges spread over a whole processor column instead of
+// living on one PE as in the 1-D partition.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr.hpp"
+#include "src/graph/partition.hpp"
+#include "src/graph/types.hpp"
+
+namespace acic::graph {
+
+class Partition2D {
+ public:
+  /// Builds an R×C grid partition; rows*cols must equal the PE count the
+  /// algorithm will run on.
+  Partition2D(const Csr& csr, std::uint32_t rows, std::uint32_t cols);
+
+  /// Factory choosing the most square R×C factorization of `num_pes`.
+  static Partition2D squarest(const Csr& csr, std::uint32_t num_pes);
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::uint32_t num_cells() const { return rows_ * cols_; }
+
+  /// Linear PE index of grid cell (i, j).
+  std::uint32_t cell(std::uint32_t i, std::uint32_t j) const {
+    return i * cols_ + j;
+  }
+  std::uint32_t row_of(std::uint32_t pe) const { return pe / cols_; }
+  std::uint32_t col_of(std::uint32_t pe) const { return pe % cols_; }
+
+  /// Vertex group of v (block split into rows*cols groups).
+  std::uint32_t group_of(VertexId v) const { return groups_.owner(v); }
+  std::uint32_t num_groups() const { return groups_.num_parts(); }
+  VertexId group_begin(std::uint32_t g) const { return groups_.begin(g); }
+  VertexId group_end(std::uint32_t g) const { return groups_.end(g); }
+
+  /// The cell owning the distance state of vertex group g
+  /// (bijective: cell (g mod R, g div R)).
+  std::uint32_t state_owner(std::uint32_t g) const {
+    return cell(g % rows_, g / rows_);
+  }
+  std::uint32_t state_owner_of_vertex(VertexId v) const {
+    return state_owner(group_of(v));
+  }
+  /// The group whose state lives at `pe` (inverse of state_owner).
+  std::uint32_t group_owned_by(std::uint32_t pe) const {
+    return col_of(pe) * rows_ + row_of(pe);
+  }
+
+  /// Edges stored at cell `pe`, sorted by source vertex.
+  const std::vector<Edge>& cell_edges(std::uint32_t pe) const {
+    return cell_edges_[pe];
+  }
+
+  /// Out-edges of `v` within cell `pe` (binary search over the sorted
+  /// edge array).
+  std::span<const Edge> cell_out_edges(std::uint32_t pe, VertexId v) const;
+
+  /// Total edges per cell — used by the load-balance tests and benches.
+  std::vector<std::size_t> edges_per_cell() const;
+
+ private:
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+  Partition1D groups_;
+  std::vector<std::vector<Edge>> cell_edges_;
+};
+
+}  // namespace acic::graph

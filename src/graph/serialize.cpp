@@ -1,0 +1,98 @@
+#include "src/graph/serialize.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace acic::graph {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x43495343'52535243ULL;  // "ACIC CSRC"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool write_array(std::FILE* f, const T* data, std::size_t count) {
+  return std::fwrite(data, sizeof(T), count, f) == count;
+}
+
+template <typename T>
+bool read_array(std::FILE* f, T* data, std::size_t count) {
+  return std::fread(data, sizeof(T), count, f) == count;
+}
+
+}  // namespace
+
+bool save_csr(const Csr& csr, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  Header header;
+  header.num_vertices = csr.num_vertices();
+  header.num_edges = csr.num_edges();
+  if (!write_array(f.get(), &header, 1)) return false;
+  if (!write_array(f.get(), csr.offsets().data(), csr.offsets().size())) {
+    return false;
+  }
+  if (!write_array(f.get(), csr.neighbors().data(),
+                   csr.neighbors().size())) {
+    return false;
+  }
+  return true;
+}
+
+Csr load_csr(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open CSR cache: " + path);
+  Header header;
+  if (!read_array(f.get(), &header, 1) || header.magic != kMagic) {
+    throw std::runtime_error("bad CSR cache magic in " + path);
+  }
+  if (header.version != kVersion) {
+    throw std::runtime_error("unsupported CSR cache version in " + path);
+  }
+
+  // Rebuild through the EdgeList path so all Csr invariants (row
+  // sorting) hold regardless of file contents.
+  std::vector<std::size_t> offsets(
+      static_cast<std::size_t>(header.num_vertices) + 1);
+  std::vector<Neighbor> neighbors(header.num_edges);
+  if (!read_array(f.get(), offsets.data(), offsets.size()) ||
+      !read_array(f.get(), neighbors.data(), neighbors.size())) {
+    throw std::runtime_error("truncated CSR cache: " + path);
+  }
+  if (offsets.front() != 0 || offsets.back() != header.num_edges) {
+    throw std::runtime_error("corrupt CSR cache offsets: " + path);
+  }
+
+  EdgeList list(header.num_vertices, {});
+  list.reserve(header.num_edges);
+  for (VertexId v = 0; v < header.num_vertices; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      throw std::runtime_error("corrupt CSR cache offsets: " + path);
+    }
+    for (std::size_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (neighbors[i].dst >= header.num_vertices) {
+        throw std::runtime_error("corrupt CSR cache edge in " + path);
+      }
+      list.add(v, neighbors[i].dst, neighbors[i].weight);
+    }
+  }
+  return Csr::from_edge_list(list);
+}
+
+}  // namespace acic::graph

@@ -1,0 +1,36 @@
+#pragma once
+// Binary CSR serialization: cache generated graphs on disk so that
+// large-scale experiment sweeps do not regenerate the same workload for
+// every binary.  The format is a fixed little-endian header (magic,
+// version, |V|, |E|) followed by the raw offset and neighbor arrays; it
+// is a cache format, not an interchange format — consistency of the
+// producing build is assumed and the magic/version guard the rest.
+
+#include <string>
+
+#include "src/graph/csr.hpp"
+
+namespace acic::graph {
+
+/// Writes `csr` to `path`; returns false on I/O failure.
+bool save_csr(const Csr& csr, const std::string& path);
+
+/// Loads a CSR written by save_csr.  Throws std::runtime_error on
+/// missing file, bad magic/version, or truncation.
+Csr load_csr(const std::string& path);
+
+/// Cache wrapper: loads `path` if present, otherwise invokes `build`,
+/// saves the result, and returns it.  Used by benches via
+/// `--graph-cache <dir>`.
+template <typename BuildFn>
+Csr load_or_build_csr(const std::string& path, BuildFn&& build) {
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return load_csr(path);
+  }
+  Csr csr = build();
+  save_csr(csr, path);
+  return csr;
+}
+
+}  // namespace acic::graph

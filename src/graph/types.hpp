@@ -1,0 +1,40 @@
+#pragma once
+// Fundamental graph types shared across the library.
+
+#include <cstdint>
+#include <limits>
+
+namespace acic::graph {
+
+/// Vertex identifier.  32 bits covers every scale this repository targets
+/// (the paper's largest graph is 2^26 vertices) while halving CSR memory
+/// relative to 64-bit ids.
+using VertexId = std::uint32_t;
+
+/// Edge weights and tentative distances.  The paper's algorithm buckets
+/// real-valued distances, so we keep full double precision throughout.
+using Weight = double;
+using Dist = double;
+
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::infinity();
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// A directed weighted edge.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 0.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A (destination, weight) pair as stored in CSR adjacency.
+struct Neighbor {
+  VertexId dst = 0;
+  Weight weight = 0.0;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+}  // namespace acic::graph

@@ -1,0 +1,76 @@
+#include "src/graph/validate.hpp"
+
+#include <cmath>
+
+#include "src/util/table.hpp"
+
+namespace acic::graph {
+
+using util::strformat;
+
+ValidationResult validate_sssp(const Csr& csr, VertexId source,
+                               const std::vector<Dist>& dist) {
+  ValidationResult result;
+  const VertexId n = csr.num_vertices();
+  if (dist.size() != n) {
+    return {false, strformat("distance vector has %zu entries, want %u",
+                             dist.size(), n)};
+  }
+  if (dist[source] != 0.0) {
+    return {false, strformat("dist[source=%u] = %g, want 0", source,
+                             dist[source])};
+  }
+
+  // Condition 2: no relaxable edge.
+  for (VertexId v = 0; v < n; ++v) {
+    if (!std::isfinite(dist[v])) continue;
+    for (const Neighbor& nb : csr.out_neighbors(v)) {
+      // Tolerance-free: all our algorithms add the same doubles in some
+      // order, and addition of two fixed doubles is deterministic, so a
+      // strictly smaller candidate is a genuine missed relaxation.
+      if (dist[nb.dst] > dist[v] + nb.weight) {
+        return {false,
+                strformat("edge (%u -> %u, w=%g) relaxable: dist[%u]=%g > "
+                          "dist[%u]+w=%g",
+                          v, nb.dst, nb.weight, nb.dst, dist[nb.dst], v,
+                          dist[v] + nb.weight)};
+      }
+    }
+  }
+
+  // Condition 3: every finite non-source distance has a witness in-edge.
+  std::vector<bool> witnessed(n, false);
+  witnessed[source] = true;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!std::isfinite(dist[v])) continue;
+    for (const Neighbor& nb : csr.out_neighbors(v)) {
+      if (dist[v] + nb.weight == dist[nb.dst]) witnessed[nb.dst] = true;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (std::isfinite(dist[v]) && !witnessed[v]) {
+      return {false, strformat("dist[%u]=%g has no witnessing in-edge", v,
+                               dist[v])};
+    }
+  }
+  return result;
+}
+
+ValidationResult compare_distances(const std::vector<Dist>& actual,
+                                   const std::vector<Dist>& expected) {
+  if (actual.size() != expected.size()) {
+    return {false, strformat("size mismatch: %zu vs %zu", actual.size(),
+                             expected.size())};
+  }
+  for (std::size_t v = 0; v < actual.size(); ++v) {
+    const bool both_inf =
+        !std::isfinite(actual[v]) && !std::isfinite(expected[v]);
+    if (!both_inf && actual[v] != expected[v]) {
+      return {false, strformat("dist[%zu] = %.17g, want %.17g", v,
+                               actual[v], expected[v])};
+    }
+  }
+  return {true, {}};
+}
+
+}  // namespace acic::graph

@@ -1,0 +1,36 @@
+#pragma once
+// SSSP result validation: the fixed-point conditions every correct
+// distance vector must satisfy, plus exact comparison against a reference.
+// Used by the test suite and (optionally) by examples after each run.
+
+#include <string>
+#include <vector>
+
+#include "src/graph/csr.hpp"
+#include "src/graph/types.hpp"
+
+namespace acic::graph {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;  // first violated condition, human-readable
+};
+
+/// Checks the SSSP fixed-point conditions for non-negative weights:
+///   1. dist[source] == 0,
+///   2. for every edge (v, w, c) with finite dist[v]:
+///        dist[w] <= dist[v] + c   (no relaxable edge remains),
+///   3. every finite dist[w] (w != source) is *witnessed* by some in-edge:
+///        exists (v, w, c) with dist[v] + c == dist[w],
+///   4. unreachable vertices have dist == +inf.
+/// Conditions 1–3 together imply the vector is exactly the shortest-path
+/// distances; 4 is implied by 3 but checked separately for a better
+/// error message.
+ValidationResult validate_sssp(const Csr& csr, VertexId source,
+                               const std::vector<Dist>& dist);
+
+/// Compares two distance vectors exactly (infinities must match).
+ValidationResult compare_distances(const std::vector<Dist>& actual,
+                                   const std::vector<Dist>& expected);
+
+}  // namespace acic::graph

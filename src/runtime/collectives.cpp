@@ -1,0 +1,191 @@
+#include "src/runtime/collectives.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace acic::runtime {
+
+namespace {
+
+double identity_for(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return 0.0;
+    case ReduceOp::kMin:
+      return std::numeric_limits<double>::infinity();
+    case ReduceOp::kMax:
+      return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+double combine(ReduceOp op, double a, double b) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return a + b;
+    case ReduceOp::kMin:
+      return std::min(a, b);
+    case ReduceOp::kMax:
+      return std::max(a, b);
+  }
+  return a + b;
+}
+
+}  // namespace
+
+Reducer::Reducer(Machine& machine, std::size_t width, RootHandler on_root,
+                 BcastHandler on_bcast, std::uint32_t fanout,
+                 std::vector<ReduceOp> ops)
+    : machine_(machine),
+      width_(width),
+      fanout_(fanout),
+      on_root_(std::move(on_root)),
+      on_bcast_(std::move(on_bcast)),
+      ops_(std::move(ops)),
+      nodes_(machine.num_pes()) {
+  ACIC_ASSERT(fanout_ >= 1);
+  if (ops_.empty()) ops_.assign(width_, ReduceOp::kSum);
+  ACIC_ASSERT_MSG(ops_.size() == width_, "one ReduceOp per payload slot");
+}
+
+std::uint32_t Reducer::num_children(PeId pe) const {
+  const std::uint64_t first = std::uint64_t{pe} * fanout_ + 1;
+  if (first >= machine_.num_pes()) return 0;
+  const std::uint64_t last =
+      std::min<std::uint64_t>(first + fanout_, machine_.num_pes());
+  return static_cast<std::uint32_t>(last - first);
+}
+
+void Reducer::contribute(Pe& pe, const std::vector<double>& value) {
+  ACIC_ASSERT_MSG(value.size() == width_,
+                  "contribution width must match the Reducer width");
+  NodeState& node = nodes_[pe.id()];
+  const std::uint64_t cycle = node.next_contribute_cycle++;
+  absorb(pe, cycle, value);
+}
+
+void Reducer::absorb(Pe& pe, std::uint64_t cycle,
+                     const std::vector<double>& value) {
+  NodeState& node = nodes_[pe.id()];
+  PendingCycle& pending = node.pending[cycle];
+  if (pending.sum.empty()) {
+    pending.sum.resize(width_);
+    for (std::size_t i = 0; i < width_; ++i) {
+      pending.sum[i] = identity_for(ops_[i]);
+    }
+  }
+  pe.charge(combine_cost_us_per_element_ * static_cast<double>(width_));
+  for (std::size_t i = 0; i < width_; ++i) {
+    pending.sum[i] = combine(ops_[i], pending.sum[i], value[i]);
+  }
+  ++pending.received;
+  forward_or_finish(pe, cycle);
+}
+
+void Reducer::forward_or_finish(Pe& pe, std::uint64_t cycle) {
+  NodeState& node = nodes_[pe.id()];
+  const auto it = node.pending.find(cycle);
+  ACIC_ASSERT(it != node.pending.end());
+  // A subtree's sum is complete once this PE's own contribution plus one
+  // message per child has arrived.
+  if (it->second.received < num_children(pe.id()) + 1) return;
+
+  std::vector<double> sum = std::move(it->second.sum);
+  node.pending.erase(it);
+
+  if (pe.id() == 0) {
+    ++cycles_completed_;
+    const std::optional<std::vector<double>> payload =
+        on_root_(pe, cycle, sum);
+    if (payload.has_value()) {
+      broadcast_down(pe, cycle, *payload);
+    }
+    return;
+  }
+
+  const PeId parent = parent_of(pe.id());
+  pe.send(parent, payload_bytes(),
+          [this, cycle, sum = std::move(sum)](Pe& parent_pe) {
+            absorb(parent_pe, cycle, sum);
+          });
+}
+
+void Reducer::broadcast_down(Pe& pe, std::uint64_t cycle,
+                             const std::vector<double>& payload) {
+  // Forward to children first so the sends overlap this PE's handler.
+  const std::uint64_t first = std::uint64_t{pe.id()} * fanout_ + 1;
+  for (std::uint32_t k = 0; k < num_children(pe.id()); ++k) {
+    const PeId child = static_cast<PeId>(first + k);
+    pe.send(child, payload_bytes(),
+            [this, cycle, payload](Pe& child_pe) {
+              broadcast_down(child_pe, cycle, payload);
+            });
+  }
+  on_bcast_(pe, cycle, payload);
+}
+
+TerminationDetector::TerminationDetector(
+    Machine& machine,
+    std::function<std::pair<std::uint64_t, std::uint64_t>(Pe&)> counters,
+    std::function<void(Pe&)> on_tick, std::function<void(Pe&)> on_terminate,
+    SimTime interval_us)
+    : machine_(machine),
+      counters_(std::move(counters)),
+      on_tick_(std::move(on_tick)),
+      on_terminate_(std::move(on_terminate)),
+      interval_us_(interval_us) {
+  reducer_ = std::make_unique<Reducer>(
+      machine_, 2,
+      // Root handler: decide continue (payload {0}) vs terminate ({1}).
+      [this](Pe&, std::uint64_t, const std::vector<double>& sum)
+          -> std::optional<std::vector<double>> {
+        const double created = sum[0];
+        const double processed = sum[1];
+        const bool equal = created == processed;
+        // Paper rule: equal in two consecutive reductions with unchanged
+        // values (guards the counters-equal-but-messages-in-flight race).
+        if (equal && armed_ && created == last_created_) {
+          terminated_ = true;
+          return std::vector<double>{1.0};
+        }
+        armed_ = equal;
+        last_created_ = created;
+        last_processed_ = processed;
+        return std::vector<double>{0.0};
+      },
+      // Broadcast handler: tick the application, then either stop or
+      // schedule the next contribution after the configured interval.
+      [this](Pe& pe, std::uint64_t, const std::vector<double>& payload) {
+        if (payload[0] != 0.0) {
+          on_terminate_(pe);
+          return;
+        }
+        on_tick_(pe);
+        const PeId id = pe.id();
+        machine_.schedule_at(pe.now() + interval_us_, id,
+                             [this](Pe& next_pe) {
+                               const auto [created, processed] =
+                                   counters_(next_pe);
+                               reducer_->contribute(
+                                   next_pe,
+                                   {static_cast<double>(created),
+                                    static_cast<double>(processed)});
+                             });
+      });
+}
+
+void TerminationDetector::start() {
+  for (PeId pe = 0; pe < machine_.num_pes(); ++pe) {
+    machine_.schedule_at(0.0, pe, [this](Pe& ctx) {
+      const auto [created, processed] = counters_(ctx);
+      reducer_->contribute(ctx, {static_cast<double>(created),
+                                 static_cast<double>(processed)});
+    });
+  }
+}
+
+}  // namespace acic::runtime

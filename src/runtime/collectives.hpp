@@ -1,0 +1,143 @@
+#pragma once
+// Asynchronous, message-driven reductions and broadcasts — the machinery
+// behind ACIC's "continuous concurrent introspection" (paper §I, §II.B).
+//
+// A Reducer owns a k-ary spanning tree over the PEs rooted at PE 0 (the
+// paper's root PE).  Each PE contributes a fixed-width vector per cycle;
+// interior tree nodes sum child contributions with their own and forward
+// the partial sum to their parent.  When the root completes a cycle it
+// invokes the root handler, which may return a payload to broadcast back
+// down the same tree; every PE's broadcast handler then runs.  Cycles are
+// pipelined: a PE may contribute to cycle n+1 before cycle n's broadcast
+// has reached it, and interior nodes keep per-cycle partial sums.
+//
+// All tree traffic flows through the Machine as ordinary costed messages,
+// so the overhead a reduction imposes on useful work is *measured*, not
+// assumed — that is exactly what the paper's fig. 3 experiment examines.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/machine.hpp"
+
+namespace acic::runtime {
+
+/// Element-wise combine operation for one slot of a Reducer payload.
+enum class ReduceOp : std::uint8_t { kSum, kMin, kMax };
+
+class Reducer {
+ public:
+  /// Runs at the root when a cycle's global sum is complete.  Returning a
+  /// vector broadcasts it to all PEs; returning nullopt ends the cycle
+  /// without a broadcast (the tree then goes quiet unless PEs contribute
+  /// again on their own).
+  using RootHandler = std::function<std::optional<std::vector<double>>(
+      Pe&, std::uint64_t cycle, const std::vector<double>&)>;
+
+  /// Runs on every PE when a broadcast payload arrives.
+  using BcastHandler =
+      std::function<void(Pe&, std::uint64_t cycle, const std::vector<double>&)>;
+
+  /// `width` is the per-PE contribution length (fixed for the Reducer's
+  /// lifetime); `fanout` the tree arity.  `ops` selects the element-wise
+  /// combine per slot; empty means all-sum.
+  Reducer(Machine& machine, std::size_t width, RootHandler on_root,
+          BcastHandler on_bcast, std::uint32_t fanout = 4,
+          std::vector<ReduceOp> ops = {});
+
+  Reducer(const Reducer&) = delete;
+  Reducer& operator=(const Reducer&) = delete;
+
+  /// Contributes this PE's vector for its next cycle.  Must be called at
+  /// most once per cycle per PE; the Reducer tracks each PE's cycle
+  /// counter internally.  Callable from inside a task on `pe`.
+  void contribute(Pe& pe, const std::vector<double>& value);
+
+  /// Per-PE CPU cost of combining one contribution (models the summation
+  /// loop the paper's PEs execute during a reduction).
+  void set_combine_cost(SimTime us_per_element) {
+    combine_cost_us_per_element_ = us_per_element;
+  }
+
+  std::size_t width() const { return width_; }
+  std::uint64_t cycles_completed() const { return cycles_completed_; }
+
+ private:
+  struct PendingCycle {
+    std::vector<double> sum;
+    std::uint32_t received = 0;
+  };
+
+  struct NodeState {
+    std::uint64_t next_contribute_cycle = 0;
+    // Partial sums for cycles still in flight at this tree node.
+    std::map<std::uint64_t, PendingCycle> pending;
+  };
+
+  std::uint32_t parent_of(PeId pe) const { return (pe - 1) / fanout_; }
+  std::uint32_t num_children(PeId pe) const;
+
+  /// Folds `value` into `pe`'s pending state for `cycle`; forwards to the
+  /// parent / fires the root when the subtree is complete.
+  void absorb(Pe& pe, std::uint64_t cycle, const std::vector<double>& value);
+  void forward_or_finish(Pe& pe, std::uint64_t cycle);
+  void broadcast_down(Pe& pe, std::uint64_t cycle,
+                      const std::vector<double>& payload);
+
+  std::size_t payload_bytes() const { return width_ * sizeof(double) + 16; }
+
+  Machine& machine_;
+  std::size_t width_;
+  std::uint32_t fanout_;
+  RootHandler on_root_;
+  BcastHandler on_bcast_;
+  std::vector<ReduceOp> ops_;
+  std::vector<NodeState> nodes_;
+  SimTime combine_cost_us_per_element_ = 0.002;
+  std::uint64_t cycles_completed_ = 0;
+};
+
+/// Counter-based termination detection, built on a Reducer, implementing
+/// the paper's scheme (§II.D): every PE contributes (created, processed)
+/// counters; the root terminates when the two global sums are equal *and*
+/// unchanged across two consecutive reductions — the double check guards
+/// against the race where counters match while messages are in flight.
+class TerminationDetector {
+ public:
+  /// `counters` supplies (created, processed) for the PE; `on_tick` runs
+  /// on every PE at each broadcast (e.g. to flush aggregation buffers);
+  /// `on_terminate` runs on every PE once when termination is detected.
+  /// `interval_us` spaces out cycles; 0 re-contributes immediately.
+  TerminationDetector(
+      Machine& machine,
+      std::function<std::pair<std::uint64_t, std::uint64_t>(Pe&)> counters,
+      std::function<void(Pe&)> on_tick, std::function<void(Pe&)> on_terminate,
+      SimTime interval_us = 50.0);
+
+  /// Starts the detection cycles (schedules the first contribution on
+  /// every PE at time 0).
+  void start();
+
+  bool terminated() const { return terminated_; }
+  std::uint64_t cycles() const { return reducer_->cycles_completed(); }
+
+ private:
+  Machine& machine_;
+  std::function<std::pair<std::uint64_t, std::uint64_t>(Pe&)> counters_;
+  std::function<void(Pe&)> on_tick_;
+  std::function<void(Pe&)> on_terminate_;
+  SimTime interval_us_;
+  std::unique_ptr<Reducer> reducer_;
+  // Root-side history for the two-consecutive-matches rule.
+  double last_created_ = -1.0;
+  double last_processed_ = -2.0;
+  bool armed_ = false;  // true after the first matching reduction
+  bool terminated_ = false;
+};
+
+}  // namespace acic::runtime

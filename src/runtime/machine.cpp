@@ -1,0 +1,174 @@
+#include "src/runtime/machine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace acic::runtime {
+
+void Pe::charge(SimTime us) {
+  ACIC_ASSERT_MSG(us >= 0.0, "cannot charge negative time");
+  const SimTime scaled = us / speed_factor_;
+  current_time_ += scaled;
+  busy_us_ += scaled;
+}
+
+void Pe::send(PeId to, std::size_t bytes, Task task) {
+  machine_->send(id_, to, bytes, std::move(task));
+}
+
+void Pe::enqueue_local(Task task) {
+  // A local continuation bypasses the network entirely: it lands at the
+  // back of this PE's queue at the current moment.
+  machine_->schedule_at(current_time_, id_, std::move(task));
+}
+
+Machine::Machine(Topology topology, NetworkModel network)
+    : topology_(topology), network_(network) {
+  topology_.validate();
+  pes_.resize(topology_.num_entities());
+  for (PeId p = 0; p < topology_.num_entities(); ++p) {
+    pes_[p].id_ = p;
+    pes_[p].machine_ = this;
+  }
+}
+
+void Machine::send(PeId from, PeId to, std::size_t bytes, Task task) {
+  ACIC_ASSERT(from < num_entities() && to < num_entities());
+  Pe& sender = pes_[from];
+  const Locality loc = topology_.locality(from, to);
+
+  // The sender pays its per-message overhead now (advancing its clock if
+  // it is inside a task), then the message departs.
+  sender.charge(network_.send_overhead_us);
+  const SimTime departure =
+      std::max(sender.current_time_, current_time_);
+  const SimTime arrival = departure + network_.transfer_time(loc, bytes);
+
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  if (active_stats_ != nullptr) {
+    ++active_stats_->messages_sent;
+    active_stats_->bytes_sent += bytes;
+  }
+
+  // The receiver pays its per-message overhead when it picks the task up.
+  const SimTime recv_overhead = network_.recv_overhead_us;
+  push_arrival(arrival, to,
+               [recv_overhead, inner = std::move(task)](Pe& pe) {
+                 pe.charge(recv_overhead);
+                 inner(pe);
+               });
+}
+
+void Machine::schedule_at(SimTime time, PeId pe, Task task) {
+  ACIC_ASSERT(pe < num_entities());
+  push_arrival(std::max(time, 0.0), pe, std::move(task));
+}
+
+void Machine::set_idle_handler(PeId pe, IdleHandler handler) {
+  ACIC_ASSERT(pe < num_entities());
+  pes_[pe].idle_handler_ = std::move(handler);
+  // If the PE is already asleep, poke it so the new handler gets a chance
+  // to run; an exec event on an empty queue degrades to an idle poll.
+  ensure_exec_scheduled(pes_[pe],
+                        std::max(current_time_, pes_[pe].avail_time_));
+}
+
+void Machine::set_speed_factor(PeId pe, double factor) {
+  ACIC_ASSERT(pe < num_entities());
+  ACIC_ASSERT_MSG(factor > 0.0, "speed factor must be positive");
+  pes_[pe].speed_factor_ = factor;
+}
+
+void Machine::push_arrival(SimTime time, PeId pe, Task task) {
+  queue_.push(Event{time, next_seq_++, pe, EventKind::kArrival,
+                    std::move(task)});
+}
+
+void Machine::ensure_exec_scheduled(Pe& pe, SimTime earliest) {
+  if (pe.exec_scheduled_) return;
+  pe.exec_scheduled_ = true;
+  queue_.push(Event{std::max(earliest, pe.avail_time_), next_seq_++,
+                    pe.id_, EventKind::kExec, nullptr});
+}
+
+void Machine::handle_arrival(Event& event) {
+  Pe& pe = pes_[event.pe];
+  pe.fifo_.push_back(std::move(event.task));
+  ensure_exec_scheduled(pe, event.time);
+}
+
+void Machine::handle_exec(const Event& event) {
+  Pe& pe = pes_[event.pe];
+  ACIC_ASSERT(pe.exec_scheduled_);
+  pe.current_time_ = std::max(event.time, pe.avail_time_);
+
+  if (!pe.fifo_.empty()) {
+    Task task = std::move(pe.fifo_.front());
+    pe.fifo_.pop_front();
+    ++pe.tasks_run_;
+    if (active_stats_ != nullptr) ++active_stats_->tasks_executed;
+    const SimTime span_start = pe.current_time_;
+    task(pe);
+    if (span_hook_) {
+      span_hook_(pe.id_, span_start, pe.current_time_, false);
+    }
+    pe.avail_time_ = pe.current_time_;
+    // Stay scheduled: either more tasks are queued or the idle handler
+    // deserves a poll once this task's simulated time has elapsed.
+    queue_.push(Event{pe.avail_time_, next_seq_++, pe.id_,
+                      EventKind::kExec, nullptr});
+    return;
+  }
+
+  // Queue empty: poll the idle handler (Charm++'s when-idle callback).
+  if (pe.idle_handler_) {
+    const SimTime span_start = pe.current_time_;
+    pe.charge(idle_poll_cost_us_);
+    if (active_stats_ != nullptr) ++active_stats_->idle_polls;
+    const bool did_work = pe.idle_handler_(pe);
+    if (span_hook_) {
+      // Idle polls that found work count as busy spans.
+      span_hook_(pe.id_, span_start, pe.current_time_, !did_work);
+    }
+    pe.avail_time_ = pe.current_time_;
+    if (did_work || !pe.fifo_.empty()) {
+      queue_.push(Event{pe.avail_time_, next_seq_++, pe.id_,
+                        EventKind::kExec, nullptr});
+      return;
+    }
+  }
+  pe.exec_scheduled_ = false;  // sleep until the next arrival
+}
+
+RunStats Machine::run(SimTime time_limit) {
+  RunStats stats;
+  active_stats_ = &stats;
+  while (!queue_.empty()) {
+    if (queue_.top().time > time_limit) {
+      stats.hit_time_limit = true;
+      break;
+    }
+    // priority_queue::top() is const; the arrival task must be moved out,
+    // so we copy the metadata and const_cast the payload — safe because
+    // the element is popped immediately afterwards.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    current_time_ = std::max(current_time_, event.time);
+    switch (event.kind) {
+      case EventKind::kArrival:
+        handle_arrival(event);
+        break;
+      case EventKind::kExec:
+        handle_exec(event);
+        break;
+    }
+  }
+  stats.end_time_us = current_time_;
+  active_stats_ = nullptr;
+  return stats;
+}
+
+}  // namespace acic::runtime

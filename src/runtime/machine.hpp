@@ -1,0 +1,205 @@
+#pragma once
+// The discrete-event machine: a deterministic simulation of a
+// message-driven multi-node runtime in the style of Charm++ SMP mode.
+//
+// Execution model
+// ---------------
+// Each PE executes *tasks* (entry-method invocations) strictly one at a
+// time, in arrival order; a task consumes simulated CPU by calling
+// Pe::charge().  Messages between PEs pay the NetworkModel costs by
+// locality.  When a PE's task queue drains, the machine invokes the PE's
+// idle handler — the exact hook Charm++ gives applications, and the one
+// ACIC uses to pull work from its priority queue (paper §II.C: "When a PE
+// becomes idle ... the runtime system triggers a method that pulls
+// updates in pq in increasing distance order").
+//
+// Determinism
+// -----------
+// The event queue orders by (time, sequence number); all ties break on
+// the monotone sequence number, so a given program + seed produces an
+// identical event interleaving on every run.  This property underpins
+// the regression tests and makes experiments exactly reproducible.
+//
+// Ownership discipline (per the HPC guides: message passing, no shared
+// mutable state): a task scheduled on PE p may mutate only state owned by
+// p; all cross-PE effects must travel through send()/enqueue_local().
+// Because the simulation itself runs on one OS thread, this is a design
+// rule rather than a data-race matter — the tests enforce it by checking
+// that algorithm results are independent of network timing parameters.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "src/runtime/network.hpp"
+#include "src/runtime/topology.hpp"
+
+namespace acic::runtime {
+
+class Machine;
+class Pe;
+
+/// An entry-method invocation: runs on a specific PE with its context.
+using Task = std::function<void(Pe&)>;
+
+/// Idle handler: invoked when the PE has no pending tasks.  Returns true
+/// if it performed work (it will then be invoked again once that work's
+/// simulated time has elapsed), false to let the PE sleep until the next
+/// message arrives.
+using IdleHandler = std::function<bool(Pe&)>;
+
+inline constexpr SimTime kNoTimeLimit =
+    std::numeric_limits<SimTime>::infinity();
+
+/// Aggregate statistics for one run() invocation.
+struct RunStats {
+  SimTime end_time_us = 0.0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t idle_polls = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  bool hit_time_limit = false;
+};
+
+/// Per-PE execution context handed to every task and idle handler.
+class Pe {
+ public:
+  PeId id() const { return id_; }
+  Machine& machine() { return *machine_; }
+
+  /// Consumes `us` microseconds of simulated CPU on this PE (scaled by
+  /// the PE's speed factor; a factor of 0.5 makes everything take twice
+  /// as long — see Machine::set_speed_factor).
+  void charge(SimTime us);
+
+  /// Current simulated time on this PE (advances within a task as CPU is
+  /// charged).
+  SimTime now() const { return current_time_; }
+
+  /// Sends a message of `bytes` bytes to PE `to`; `task` runs there after
+  /// network latency + transfer time.  Charges the sender's overhead.
+  void send(PeId to, std::size_t bytes, Task task);
+
+  /// Enqueues a continuation on this PE with no messaging cost.
+  void enqueue_local(Task task);
+
+ private:
+  friend class Machine;
+
+  PeId id_ = 0;
+  Machine* machine_ = nullptr;
+
+  // Scheduler state.
+  std::deque<Task> fifo_;
+  SimTime avail_time_ = 0.0;     // when the PE finishes its current task
+  SimTime current_time_ = 0.0;   // time inside the running task
+  bool exec_scheduled_ = false;
+  IdleHandler idle_handler_;
+
+  // Per-PE accounting (read by load-imbalance analyses).
+  SimTime busy_us_ = 0.0;
+  std::uint64_t tasks_run_ = 0;
+  double speed_factor_ = 1.0;
+};
+
+class Machine {
+ public:
+  Machine(Topology topology, NetworkModel network = {});
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Worker PEs (the entities applications schedule work on).
+  std::uint32_t num_pes() const { return topology_.num_pes(); }
+  /// Workers plus per-process communication threads; any of these can be
+  /// a message target.
+  std::uint32_t num_entities() const { return topology_.num_entities(); }
+  const Topology& topology() const { return topology_; }
+  const NetworkModel& network() const { return network_; }
+
+  /// Message send with full network costing.  Usable both from inside a
+  /// running task (via Pe::send) and from setup code before run().
+  void send(PeId from, PeId to, std::size_t bytes, Task task);
+
+  /// Schedules `task` on `pe` at absolute simulated time `time` (used for
+  /// initial work injection and timers).
+  void schedule_at(SimTime time, PeId pe, Task task);
+
+  /// Installs the idle handler for `pe` (replaces any existing one).
+  void set_idle_handler(PeId pe, IdleHandler handler);
+
+  /// Runs the event loop until the queue drains or `time_limit` is
+  /// reached.  May be called repeatedly; time continues monotonically.
+  RunStats run(SimTime time_limit = kNoTimeLimit);
+
+  /// Time of the most recently processed event.
+  SimTime current_time() const { return current_time_; }
+
+  /// Per-PE busy time and task counts (for load-balance metrics).
+  SimTime pe_busy_us(PeId pe) const { return pes_[pe].busy_us_; }
+  std::uint64_t pe_tasks_run(PeId pe) const { return pes_[pe].tasks_run_; }
+
+  std::uint64_t total_messages_sent() const { return messages_sent_; }
+  std::uint64_t total_bytes_sent() const { return bytes_sent_; }
+
+  /// Overhead charged per idle-handler poll (prevents zero-time idle
+  /// loops; roughly the cost of the runtime scheduler's empty-queue
+  /// check).
+  void set_idle_poll_cost(SimTime us) { idle_poll_cost_us_ = us; }
+
+  /// Observability hook: invoked after every executed task and idle
+  /// poll with (pe, start_us, end_us, was_idle_poll).  Used by the
+  /// Tracer (src/runtime/trace.hpp); at most one hook is active.
+  using SpanHook =
+      std::function<void(PeId, SimTime, SimTime, bool)>;
+  void set_span_hook(SpanHook hook) { span_hook_ = std::move(hook); }
+
+  /// Straggler injection: scales the speed of one PE.  A factor of 0.5
+  /// halves its effective clock (every charge takes twice the simulated
+  /// time).  Used by the load-imbalance experiments — a single slow PE
+  /// is exactly the hazard the paper says bulk-synchronous algorithms
+  /// amplify ("many processors may sit idle while waiting for one
+  /// processor to reach the synchronization barrier", §I).
+  void set_speed_factor(PeId pe, double factor);
+
+ private:
+  enum class EventKind : std::uint8_t { kArrival, kExec };
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    PeId pe;
+    EventKind kind;
+    Task task;  // only for kArrival
+  };
+
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // min-heap: earlier seq first
+    }
+  };
+
+  void push_arrival(SimTime time, PeId pe, Task task);
+  void ensure_exec_scheduled(Pe& pe, SimTime earliest);
+  void handle_arrival(Event& event);
+  void handle_exec(const Event& event);
+
+  Topology topology_;
+  NetworkModel network_;
+  std::vector<Pe> pes_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t next_seq_ = 0;
+  SimTime current_time_ = 0.0;
+  SimTime idle_poll_cost_us_ = 0.05;
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  RunStats* active_stats_ = nullptr;
+  SpanHook span_hook_;
+};
+
+}  // namespace acic::runtime

@@ -1,0 +1,68 @@
+#pragma once
+// Network cost model for the discrete-event machine.
+//
+// Charges follow the standard LogGP-style decomposition:
+//   * send_overhead_us  — CPU consumed on the sender per message,
+//   * recv_overhead_us  — CPU consumed on the receiver per message,
+//   * latency           — wire time, differentiated by locality,
+//   * 1/bandwidth       — per-byte serialization, by locality.
+// These per-message fixed costs are what make aggregation (tramlib) pay
+// off: one 2048-item message costs one overhead + 2048 byte-costs instead
+// of 2048 overheads.  Defaults approximate a modern Slingshot-class
+// fabric at microsecond granularity; experiments may override them.
+
+#include <cstddef>
+
+#include "src/runtime/topology.hpp"
+
+namespace acic::runtime {
+
+/// Simulated time, in microseconds.
+using SimTime = double;
+
+struct NetworkModel {
+  SimTime send_overhead_us = 0.5;
+  SimTime recv_overhead_us = 0.5;
+
+  SimTime latency_intra_proc_us = 0.1;
+  SimTime latency_intra_node_us = 0.8;
+  SimTime latency_inter_node_us = 3.0;
+
+  // Bandwidth as bytes per microsecond (1000 B/us == 1 GB/s).
+  double bytes_per_us_intra_proc = 16000.0;
+  double bytes_per_us_intra_node = 8000.0;
+  double bytes_per_us_inter_node = 2000.0;
+
+  SimTime latency(Locality loc) const {
+    switch (loc) {
+      case Locality::kSelf:
+        return 0.0;
+      case Locality::kIntraProcess:
+        return latency_intra_proc_us;
+      case Locality::kIntraNode:
+        return latency_intra_node_us;
+      case Locality::kInterNode:
+        return latency_inter_node_us;
+    }
+    return 0.0;
+  }
+
+  SimTime transfer_time(Locality loc, std::size_t bytes) const {
+    double bw = bytes_per_us_intra_proc;
+    switch (loc) {
+      case Locality::kSelf:
+      case Locality::kIntraProcess:
+        bw = bytes_per_us_intra_proc;
+        break;
+      case Locality::kIntraNode:
+        bw = bytes_per_us_intra_node;
+        break;
+      case Locality::kInterNode:
+        bw = bytes_per_us_inter_node;
+        break;
+    }
+    return latency(loc) + static_cast<double>(bytes) / bw;
+  }
+};
+
+}  // namespace acic::runtime

@@ -1,0 +1,74 @@
+#pragma once
+// Simulated machine topology, mirroring Charm++ SMP mode: a machine has
+// `nodes`, each node runs `procs_per_node` OS processes, and each process
+// hosts `pes_per_proc` worker PEs (one per core) plus an implicit
+// communication thread.  The paper's configuration is 8 processes/node
+// and 6 worker PEs/process = 48 workers per node.
+
+#include <cstdint>
+
+#include "src/util/assert.hpp"
+
+namespace acic::runtime {
+
+using PeId = std::uint32_t;
+
+/// Relative placement of two PEs, which determines message cost.
+enum class Locality : std::uint8_t {
+  kSelf,          // same PE
+  kIntraProcess,  // same process: shared-memory delivery
+  kIntraNode,     // same node, different process
+  kInterNode,     // different nodes: the network proper
+};
+
+struct Topology {
+  std::uint32_t nodes = 1;
+  std::uint32_t procs_per_node = 8;
+  std::uint32_t pes_per_proc = 6;
+
+  /// Worker PEs: ids [0, num_pes()).
+  std::uint32_t num_pes() const { return nodes * procs_per_node * pes_per_proc; }
+  std::uint32_t num_procs() const { return nodes * procs_per_node; }
+
+  /// Total schedulable entities: workers plus one communication thread
+  /// per process (Charm++ SMP mode dedicates a core to it; the paper's
+  /// configuration does too).  Comm threads get ids
+  /// [num_pes(), num_pes() + num_procs()).
+  std::uint32_t num_entities() const { return num_pes() + num_procs(); }
+
+  bool is_comm_thread(PeId pe) const { return pe >= num_pes(); }
+  PeId comm_thread_of_proc(std::uint32_t proc) const {
+    return num_pes() + proc;
+  }
+
+  std::uint32_t proc_of(PeId pe) const {
+    return is_comm_thread(pe) ? pe - num_pes() : pe / pes_per_proc;
+  }
+  std::uint32_t node_of(PeId pe) const {
+    return proc_of(pe) / procs_per_node;
+  }
+  /// First worker PE of process `proc`.
+  PeId first_pe_of_proc(std::uint32_t proc) const {
+    return proc * pes_per_proc;
+  }
+
+  Locality locality(PeId a, PeId b) const {
+    if (a == b) return Locality::kSelf;
+    if (proc_of(a) == proc_of(b)) return Locality::kIntraProcess;
+    if (node_of(a) == node_of(b)) return Locality::kIntraNode;
+    return Locality::kInterNode;
+  }
+
+  void validate() const {
+    ACIC_ASSERT(nodes > 0 && procs_per_node > 0 && pes_per_proc > 0);
+  }
+
+  /// Paper configuration: 8 procs/node, 6 workers each (48 PEs/node).
+  static Topology paper_node(std::uint32_t nodes) {
+    return Topology{nodes, 8, 6};
+  }
+  /// Small configuration convenient for unit tests.
+  static Topology tiny(std::uint32_t pes) { return Topology{1, 1, pes}; }
+};
+
+}  // namespace acic::runtime

@@ -1,0 +1,59 @@
+#pragma once
+// Execution tracing — the simulator's analogue of Charm++'s Projections
+// performance-analysis tool.  When attached to a Machine, the tracer
+// records one span per executed task and idle poll: (pe, start, end,
+// kind).  Traces can be summarized into per-PE utilization timelines
+// (busy fraction per time bin) or dumped to CSV for external plotting.
+// The SSSP examples use it to visualize exactly where the "tail" phase
+// of a run goes idle.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runtime/machine.hpp"
+
+namespace acic::runtime {
+
+enum class SpanKind : std::uint8_t { kTask, kIdlePoll };
+
+struct TraceSpan {
+  PeId pe = 0;
+  SimTime start_us = 0.0;
+  SimTime end_us = 0.0;
+  SpanKind kind = SpanKind::kTask;
+};
+
+class Tracer {
+ public:
+  void record(PeId pe, SimTime start_us, SimTime end_us, SpanKind kind) {
+    spans_.push_back(TraceSpan{pe, start_us, end_us, kind});
+  }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+  /// Busy fraction of each PE within [0, horizon), split into `bins`
+  /// equal time bins: result[pe][bin] in [0, 1].  Idle polls count as
+  /// idle time.
+  std::vector<std::vector<double>> utilization(std::uint32_t num_pes,
+                                               SimTime horizon_us,
+                                               std::size_t bins) const;
+
+  /// Writes `pe,start_us,end_us,kind` rows; returns false on I/O error.
+  bool write_csv(const std::string& path) const;
+
+  /// Renders a coarse text heat-map (one row per PE, one column per
+  /// bin; characters . : - = # for 0-100% busy) to a string.
+  std::string utilization_art(std::uint32_t num_pes, SimTime horizon_us,
+                              std::size_t bins) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+/// Installs span recording on `machine` (wraps task execution
+/// accounting).  The tracer must outlive the machine's run() calls.
+void attach_tracer(Machine& machine, Tracer& tracer);
+
+}  // namespace acic::runtime

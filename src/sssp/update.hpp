@@ -1,0 +1,33 @@
+#pragma once
+// The unit of work every SSSP algorithm in this repository exchanges: an
+// *update* u = (v, d), equivalent to an edge relaxation (paper §II.A).
+// An update is "created" when generated from a relaxed edge and
+// "processed" when it is either rejected (its distance is no better than
+// the vertex's current distance) or expanded (one onward update created
+// per out-edge).
+
+#include "src/graph/types.hpp"
+
+namespace acic::sssp {
+
+struct Update {
+  graph::VertexId vertex = 0;
+  graph::Dist dist = 0.0;
+
+  friend bool operator==(const Update&, const Update&) = default;
+};
+
+/// Ordering for min-priority queues: smallest distance first; ties break
+/// on vertex id for determinism.
+struct UpdateMinOrder {
+  bool operator()(const Update& a, const Update& b) const {
+    if (a.dist != b.dist) return a.dist > b.dist;  // std::priority_queue max-heap inversion
+    return a.vertex > b.vertex;
+  }
+};
+
+/// Serialized wire size of one update (vertex id + distance).
+inline constexpr std::size_t kUpdateWireBytes =
+    sizeof(graph::VertexId) + sizeof(graph::Dist);
+
+}  // namespace acic::sssp

@@ -1,0 +1,225 @@
+#include "src/stats/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/baselines/delta_stepping_2d.hpp"
+#include "src/baselines/delta_stepping_dist.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/partition.hpp"
+#include "src/graph/partition2d.hpp"
+#include "src/runtime/machine.hpp"
+#include "src/util/assert.hpp"
+
+namespace acic::stats {
+
+const char* graph_kind_name(GraphKind kind) {
+  switch (kind) {
+    case GraphKind::kRandom:
+      return "random";
+    case GraphKind::kRmat:
+      return "rmat";
+    case GraphKind::kRoad:
+      return "road";
+    case GraphKind::kErdosRenyi:
+      return "erdos-renyi";
+  }
+  return "?";
+}
+
+GraphKind graph_kind_from_string(const std::string& name) {
+  if (name == "random") return GraphKind::kRandom;
+  if (name == "rmat") return GraphKind::kRmat;
+  if (name == "road") return GraphKind::kRoad;
+  if (name == "erdos-renyi") return GraphKind::kErdosRenyi;
+  ACIC_ASSERT_MSG(false, "unknown graph kind");
+  return GraphKind::kRandom;
+}
+
+const char* algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kAcic:
+      return "acic";
+    case Algo::kDelta1D:
+      return "delta-1d";
+    case Algo::kRiken:
+      return "riken-delta";
+    case Algo::kKla:
+      return "kla";
+    case Algo::kDistControl:
+      return "dist-control";
+    case Algo::kAsyncBaseline:
+      return "async-baseline";
+  }
+  return "?";
+}
+
+Algo algo_from_string(const std::string& name) {
+  if (name == "acic") return Algo::kAcic;
+  if (name == "delta-1d") return Algo::kDelta1D;
+  if (name == "riken-delta") return Algo::kRiken;
+  if (name == "kla") return Algo::kKla;
+  if (name == "dist-control") return Algo::kDistControl;
+  if (name == "async-baseline") return Algo::kAsyncBaseline;
+  ACIC_ASSERT_MSG(false, "unknown algorithm name");
+  return Algo::kAcic;
+}
+
+runtime::Topology ExperimentSpec::topology() const {
+  if (pes_override != 0) {
+    return runtime::Topology::tiny(pes_override);
+  }
+  if (full_scale_nodes) {
+    return runtime::Topology::paper_node(nodes);
+  }
+  return runtime::Topology{nodes, 2, 4};  // mini node: 8 workers
+}
+
+graph::Csr build_graph(const ExperimentSpec& spec) {
+  graph::GenParams params;
+  params.num_vertices = graph::VertexId{1} << spec.scale;
+  params.num_edges =
+      static_cast<std::uint64_t>(spec.edge_factor) * params.num_vertices;
+  params.seed = spec.seed;
+
+  switch (spec.graph) {
+    case GraphKind::kRandom:
+      return graph::Csr::from_edge_list(
+          graph::generate_uniform_random(params));
+    case GraphKind::kRmat:
+      return graph::Csr::from_edge_list(graph::generate_rmat(params));
+    case GraphKind::kErdosRenyi:
+      return graph::Csr::from_edge_list(
+          graph::generate_erdos_renyi(params));
+    case GraphKind::kRoad: {
+      // Square grid with the requested vertex count; edge_factor is
+      // ignored (grids are ~4-regular, like road networks).
+      const auto side = static_cast<graph::VertexId>(
+          std::round(std::sqrt(static_cast<double>(params.num_vertices))));
+      graph::GridParams grid;
+      grid.width = side;
+      grid.height = side;
+      return graph::Csr::from_edge_list(
+          graph::generate_grid_road(grid, spec.seed));
+    }
+  }
+  ACIC_ASSERT(false);
+  return {};
+}
+
+void AlgoParams::set_buffer_items(std::size_t items) {
+  acic.tram.buffer_items = items;
+  delta.tram.buffer_items = items;
+  kla.tram.buffer_items = items;
+  dc.tram.buffer_items = items;
+}
+
+namespace {
+
+double imbalance(const std::vector<runtime::SimTime>& busy) {
+  if (busy.empty()) return 0.0;
+  double total = 0.0;
+  double peak = 0.0;
+  for (const double b : busy) {
+    total += b;
+    peak = std::max(peak, b);
+  }
+  const double mean = total / static_cast<double>(busy.size());
+  return mean > 0.0 ? peak / mean : 0.0;
+}
+
+}  // namespace
+
+RunOutcome run_algorithm(Algo algo, const graph::Csr& csr,
+                         const ExperimentSpec& spec,
+                         const AlgoParams& params,
+                         runtime::SimTime time_limit_us) {
+  runtime::Machine machine(spec.topology());
+  if (spec.straggler_factor != 1.0) {
+    // Slow the last worker, not PE 0: PE 0 is the reduction root for
+    // every algorithm, and slowing it would measure root-bottleneck
+    // effects instead of compute imbalance.
+    machine.set_speed_factor(machine.num_pes() - 1,
+                             spec.straggler_factor);
+  }
+  const std::uint32_t pes = machine.num_pes();
+  RunOutcome outcome;
+  outcome.algo = algo;
+
+  switch (algo) {
+    case Algo::kAcic: {
+      const auto partition =
+          params.acic_balanced_partition
+              ? graph::Partition1D::balanced_edges(csr, pes)
+              : graph::Partition1D::block(csr.num_vertices(), pes);
+      auto run = core::acic_sssp(machine, csr, partition, spec.source,
+                                 params.acic, time_limit_us);
+      outcome.sssp = std::move(run.sssp);
+      outcome.hit_time_limit = run.hit_time_limit;
+      outcome.cycles = run.reduction_cycles;
+      outcome.busy_imbalance = imbalance(run.pe_busy_us);
+      break;
+    }
+    case Algo::kDelta1D: {
+      const auto partition =
+          graph::Partition1D::block(csr.num_vertices(), pes);
+      baselines::DeltaConfig config = params.delta;
+      config.hybrid_bellman_ford = false;
+      auto run = baselines::delta_stepping_dist(
+          machine, csr, partition, spec.source, config, time_limit_us);
+      outcome.sssp = std::move(run.sssp);
+      outcome.hit_time_limit = run.hit_time_limit;
+      outcome.cycles = run.barrier_rounds;
+      outcome.switched_to_bf = run.switched_to_bf;
+      outcome.busy_imbalance = imbalance(run.pe_busy_us);
+      break;
+    }
+    case Algo::kRiken: {
+      const auto partition = graph::Partition2D::squarest(csr, pes);
+      auto run = baselines::delta_stepping_2d(
+          machine, csr, partition, spec.source, params.delta,
+          time_limit_us);
+      outcome.sssp = std::move(run.sssp);
+      outcome.hit_time_limit = run.hit_time_limit;
+      outcome.cycles = run.barrier_rounds;
+      outcome.switched_to_bf = run.switched_to_bf;
+      outcome.busy_imbalance = imbalance(run.pe_busy_us);
+      break;
+    }
+    case Algo::kKla: {
+      const auto partition =
+          graph::Partition1D::block(csr.num_vertices(), pes);
+      auto run = baselines::kla_sssp(machine, csr, partition, spec.source,
+                                     params.kla, time_limit_us);
+      outcome.sssp = std::move(run.sssp);
+      outcome.hit_time_limit = run.hit_time_limit;
+      outcome.cycles = run.supersteps;
+      outcome.busy_imbalance = imbalance(run.pe_busy_us);
+      break;
+    }
+    case Algo::kDistControl:
+    case Algo::kAsyncBaseline: {
+      const auto partition =
+          graph::Partition1D::block(csr.num_vertices(), pes);
+      baselines::DistributedControlConfig config = params.dc;
+      config.use_priority = algo == Algo::kDistControl;
+      auto run = baselines::distributed_control_sssp(
+          machine, csr, partition, spec.source, config, time_limit_us);
+      outcome.sssp = std::move(run.sssp);
+      outcome.hit_time_limit = run.hit_time_limit;
+      outcome.cycles = run.detector_cycles;
+      outcome.busy_imbalance = imbalance(run.pe_busy_us);
+      break;
+    }
+  }
+  return outcome;
+}
+
+RunOutcome run_experiment(Algo algo, const ExperimentSpec& spec,
+                          const AlgoParams& params,
+                          runtime::SimTime time_limit_us) {
+  const graph::Csr csr = build_graph(spec);
+  return run_algorithm(algo, csr, spec, params, time_limit_us);
+}
+
+}  // namespace acic::stats

@@ -1,0 +1,36 @@
+#include "src/tram/tram.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace acic::tram {
+
+const char* aggregation_name(Aggregation mode) {
+  switch (mode) {
+    case Aggregation::kPP:
+      return "PP";
+    case Aggregation::kWP:
+      return "WP";
+    case Aggregation::kWW:
+      return "WW";
+    case Aggregation::kPW:
+      return "PW";
+  }
+  return "??";
+}
+
+Aggregation aggregation_from_string(const std::string& name) {
+  std::string upper;
+  for (char c : name) {
+    upper.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  if (upper == "PP") return Aggregation::kPP;
+  if (upper == "WP") return Aggregation::kWP;
+  if (upper == "WW") return Aggregation::kWW;
+  if (upper == "PW") return Aggregation::kPW;
+  ACIC_ASSERT_MSG(false, "unknown aggregation mode (want PP/WP/WW/PW)");
+  return Aggregation::kWP;
+}
+
+}  // namespace acic::tram

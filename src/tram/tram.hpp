@@ -1,0 +1,258 @@
+#pragma once
+// tramlib — the message aggregation library from the paper (§II.D),
+// reimplemented over the discrete-event runtime.
+//
+// SSSP sends an enormous number of tiny update messages; sending each one
+// individually pays the per-message overhead every time.  Tramlib holds
+// outgoing items in buffers and ships a whole buffer as one message when
+// it fills (an *automatic flush*) or when the application asks (a
+// *manual flush* — ACIC issues one during the broadcast after every
+// reduction so the low-concurrency "tail" of the graph still advances).
+//
+// Buffer organization uses the paper's two-letter designations: the first
+// letter says who owns a buffer *set* (W = one set per worker/PE, P = one
+// set per process, written by all its PEs — which costs an atomic-access
+// penalty per insert), the second says the destination granularity of the
+// buffers inside a set (P = one buffer per destination process, W = one
+// per destination PE).  The paper's library offers PP, WP and WW and
+// finds WP best for SSSP; we also provide PW for completeness.
+//
+// Process-destined aggregates are addressed to the destination process's
+// communication thread, which fans the items out to their target worker
+// PEs over intra-process messages — the Charm++ SMP delivery path.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/machine.hpp"
+#include "src/util/assert.hpp"
+
+namespace acic::tram {
+
+/// First letter: buffer-set owner; second: destination granularity.
+enum class Aggregation : std::uint8_t { kPP, kWP, kWW, kPW };
+
+const char* aggregation_name(Aggregation mode);
+
+/// Parses "PP" / "WP" / "WW" / "PW" (case-insensitive); asserts otherwise.
+Aggregation aggregation_from_string(const std::string& name);
+
+struct TramConfig {
+  Aggregation mode = Aggregation::kWP;
+  /// Automatic flush threshold, in items (the paper sweeps 512/1024/2048).
+  std::size_t buffer_items = 1024;
+  /// Serialized size of one item on the wire.
+  std::size_t item_bytes = 16;
+  /// Sender CPU per inserted item (copy into the buffer).
+  runtime::SimTime insert_cost_us = 0.008;
+  /// Extra per-insert cost for process-shared sets (atomic operations,
+  /// paper §II.D).
+  runtime::SimTime atomic_penalty_us = 0.012;
+  /// Receiver CPU per delivered item (deserialize + dispatch).
+  runtime::SimTime deliver_cost_us = 0.01;
+  /// Comm-thread CPU per item when routing a process-destined aggregate.
+  runtime::SimTime route_cost_us = 0.004;
+
+  /// Fault injection for tests: every Nth delivered item is delivered a
+  /// second time (at-least-once semantics, as after a network-level
+  /// retransmission).  Label-correcting algorithms must tolerate this —
+  /// duplicate updates are simply rejected.  0 disables.
+  std::uint64_t debug_duplicate_every = 0;
+
+  /// Fault injection for tests: reverse the item order of every flushed
+  /// buffer (adversarial reordering — high-distance updates arrive
+  /// before low-distance ones).  Correctness must be order-independent;
+  /// only wasted-work counts may change.
+  bool debug_reverse_batches = false;
+};
+
+struct TramStats {
+  std::uint64_t items_inserted = 0;
+  std::uint64_t items_delivered = 0;
+  std::uint64_t aggregate_messages = 0;
+  std::uint64_t auto_flushes = 0;
+  std::uint64_t manual_flushes = 0;
+  std::uint64_t flushed_empty = 0;  // manual flushes that found no items
+  std::uint64_t items_duplicated = 0;  // fault-injection duplicates
+};
+
+/// Aggregating channel for items of type T.  The delivery handler runs on
+/// the destination PE once per item, in buffer order.
+template <typename T>
+class Tram {
+ public:
+  using DeliverFn = std::function<void(runtime::Pe&, const T&)>;
+
+  Tram(runtime::Machine& machine, TramConfig config, DeliverFn deliver)
+      : machine_(machine),
+        config_(config),
+        deliver_(std::move(deliver)),
+        topo_(machine.topology()) {
+    const std::size_t sets = set_owned_by_pe()
+                                 ? topo_.num_pes()
+                                 : topo_.num_procs();
+    const std::size_t dests = dest_is_pe() ? topo_.num_pes()
+                                           : topo_.num_procs();
+    buffers_.assign(sets, std::vector<Buffer>(dests));
+  }
+
+  Tram(const Tram&) = delete;
+  Tram& operator=(const Tram&) = delete;
+
+  /// Queues `item` for delivery on `dst_pe`; flushes the buffer if full.
+  void insert(runtime::Pe& src, runtime::PeId dst_pe, const T& item) {
+    ACIC_ASSERT(dst_pe < topo_.num_pes());
+    const std::size_t set = set_index(src.id());
+    const std::size_t dest = dest_is_pe() ? dst_pe : topo_.proc_of(dst_pe);
+    src.charge(config_.insert_cost_us +
+               (set_owned_by_pe() ? 0.0 : config_.atomic_penalty_us));
+    Buffer& buffer = buffers_[set][dest];
+    buffer.items.push_back(Entry{dst_pe, item});
+    ++stats_.items_inserted;
+    if (buffer.items.size() >= config_.buffer_items) {
+      ++stats_.auto_flushes;
+      flush_buffer(src, set, dest);
+    }
+  }
+
+  /// Flushes every non-empty buffer in the set `pe` writes to — the
+  /// paper's explicit flush call, issued after each reduction broadcast.
+  void flush_all(runtime::Pe& pe) {
+    const std::size_t set = set_index(pe.id());
+    bool any = false;
+    for (std::size_t dest = 0; dest < buffers_[set].size(); ++dest) {
+      if (!buffers_[set][dest].items.empty()) {
+        any = true;
+        flush_buffer(pe, set, dest);
+      }
+    }
+    ++stats_.manual_flushes;
+    if (!any) ++stats_.flushed_empty;
+  }
+
+  /// Items currently waiting in buffers writable by `pe` (test hook).
+  std::size_t pending_items(runtime::PeId pe) const {
+    const std::size_t set = set_index(pe);
+    std::size_t count = 0;
+    for (const Buffer& buffer : buffers_[set]) count += buffer.items.size();
+    return count;
+  }
+
+  const TramStats& stats() const { return stats_; }
+  const TramConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    runtime::PeId target;
+    T item;
+  };
+  struct Buffer {
+    std::vector<Entry> items;
+  };
+
+  bool set_owned_by_pe() const {
+    return config_.mode == Aggregation::kWP ||
+           config_.mode == Aggregation::kWW;
+  }
+  bool dest_is_pe() const {
+    return config_.mode == Aggregation::kWW ||
+           config_.mode == Aggregation::kPW;
+  }
+  std::size_t set_index(runtime::PeId pe) const {
+    return set_owned_by_pe() ? pe : topo_.proc_of(pe);
+  }
+
+  std::size_t wire_bytes(std::size_t items) const {
+    return 32 + items * config_.item_bytes;  // 32-byte envelope
+  }
+
+  void flush_buffer(runtime::Pe& src, std::size_t set, std::size_t dest) {
+    Buffer& buffer = buffers_[set][dest];
+    ACIC_ASSERT(!buffer.items.empty());
+    std::vector<Entry> batch;
+    batch.swap(buffer.items);
+    if (config_.debug_reverse_batches) {
+      std::reverse(batch.begin(), batch.end());
+    }
+    ++stats_.aggregate_messages;
+
+    if (dest_is_pe()) {
+      // All items share one destination PE: one aggregate straight there.
+      const auto target = static_cast<runtime::PeId>(dest);
+      src.send(target, wire_bytes(batch.size()),
+               [this, batch = std::move(batch)](runtime::Pe& pe) {
+                 deliver_batch(pe, batch);
+               });
+      return;
+    }
+
+    // Process-destined aggregate: ship to the destination process's comm
+    // thread, which fans items out to their worker PEs.  Local (same
+    // process) aggregates skip the comm thread and deliver directly.
+    const auto dst_proc = static_cast<std::uint32_t>(dest);
+    if (dst_proc == topo_.proc_of(src.id())) {
+      fan_out(src, batch);
+      return;
+    }
+    const runtime::PeId comm = topo_.comm_thread_of_proc(dst_proc);
+    src.send(comm, wire_bytes(batch.size()),
+             [this, batch = std::move(batch)](runtime::Pe& comm_pe) {
+               comm_pe.charge(config_.route_cost_us *
+                              static_cast<double>(batch.size()));
+               fan_out(comm_pe, batch);
+             });
+  }
+
+  /// Delivers `batch` by grouping items per target PE (preserving each
+  /// target's item order) and sending each group as one intra-process
+  /// message.
+  void fan_out(runtime::Pe& from, const std::vector<Entry>& batch) {
+    // Targets within one process-destined buffer are the PEs of a single
+    // process, so a tiny ordered scan suffices.
+    std::vector<runtime::PeId> targets;
+    std::vector<std::vector<Entry>> groups;
+    for (const Entry& entry : batch) {
+      std::size_t g = 0;
+      while (g < targets.size() && targets[g] != entry.target) ++g;
+      if (g == targets.size()) {
+        targets.push_back(entry.target);
+        groups.emplace_back();
+      }
+      groups[g].push_back(entry);
+    }
+    for (std::size_t g = 0; g < targets.size(); ++g) {
+      from.send(targets[g], wire_bytes(groups[g].size()),
+                [this, group = std::move(groups[g])](runtime::Pe& pe) {
+                  deliver_batch(pe, group);
+                });
+    }
+  }
+
+  void deliver_batch(runtime::Pe& pe, const std::vector<Entry>& batch) {
+    for (const Entry& entry : batch) {
+      ACIC_ASSERT(entry.target == pe.id());
+      pe.charge(config_.deliver_cost_us);
+      ++stats_.items_delivered;
+      deliver_(pe, entry.item);
+      if (config_.debug_duplicate_every != 0 &&
+          stats_.items_delivered % config_.debug_duplicate_every == 0) {
+        pe.charge(config_.deliver_cost_us);
+        ++stats_.items_duplicated;
+        deliver_(pe, entry.item);
+      }
+    }
+  }
+
+  runtime::Machine& machine_;
+  TramConfig config_;
+  DeliverFn deliver_;
+  const runtime::Topology& topo_;
+  std::vector<std::vector<Buffer>> buffers_;  // [set][dest]
+  TramStats stats_;
+};
+
+}  // namespace acic::tram

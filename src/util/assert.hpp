@@ -1,0 +1,38 @@
+#pragma once
+// Lightweight always-on assertion macros for invariant checking.
+//
+// Unlike <cassert>, these fire in every build type: a simulator whose
+// invariants silently degrade produces wrong *results*, not just wrong
+// performance, so we keep the checks on. The macros print the failing
+// expression, location and an optional formatted message, then abort.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace acic::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "ACIC assertion failed: %s\n  at %s:%d\n", expr, file,
+               line);
+  if (msg != nullptr && msg[0] != '\0') {
+    std::fprintf(stderr, "  %s\n", msg);
+  }
+  std::abort();
+}
+
+}  // namespace acic::util
+
+#define ACIC_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::acic::util::assert_fail(#expr, __FILE__, __LINE__, "");        \
+    }                                                                  \
+  } while (false)
+
+#define ACIC_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::acic::util::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,106 @@
+#pragma once
+// Deterministic random number generation.
+//
+// All randomness in the library flows through these generators so that a
+// (seed, stream) pair fully determines graph structure, edge weights and
+// any randomized tie-breaking.  We use SplitMix64 for seeding and
+// xoshiro256** as the workhorse generator: both are tiny, fast, and have
+// well-understood statistical quality for simulation workloads.  The
+// standard <random> engines are avoided because their output sequences
+// are not guaranteed identical across standard library implementations,
+// which would break our exact-value regression tests.
+
+#include <array>
+#include <cstdint>
+
+namespace acic::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Passes through every 64-bit value exactly once over its period.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: general-purpose 64-bit generator (Blackman & Vigna).
+/// Satisfies the UniformRandomBitGenerator concept so it can be used with
+/// standard distributions when exact reproducibility is not required.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from a single seed via SplitMix64, as the
+  /// xoshiro authors recommend; a zero seed is remapped internally so the
+  /// all-zero (degenerate) state is unreachable.
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction
+  /// (unbiased enough for simulation purposes and branch-light).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // 128-bit multiply keeps the mapping uniform without a modulo.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Uniform double in [0, 1): the top 53 bits of one draw.
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Derives an independent stream seed from a base seed and a stream index,
+/// so e.g. graph structure and edge weights use decorrelated sequences.
+inline std::uint64_t derive_seed(std::uint64_t base,
+                                 std::uint64_t stream) noexcept {
+  SplitMix64 sm(base ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace acic::util

@@ -1,0 +1,63 @@
+#pragma once
+// Small numeric helpers for summarizing measurement series.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "src/util/assert.hpp"
+
+namespace acic::util {
+
+inline double mean(const std::vector<double>& xs) {
+  ACIC_ASSERT(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+inline double stddev(const std::vector<double>& xs) {
+  ACIC_ASSERT(!xs.empty());
+  if (xs.size() == 1) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+inline double min_of(const std::vector<double>& xs) {
+  ACIC_ASSERT(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+inline double max_of(const std::vector<double>& xs) {
+  ACIC_ASSERT(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+/// Percentile by linear interpolation between closest ranks; p in [0, 100].
+inline double percentile(std::vector<double> xs, double p) {
+  ACIC_ASSERT(!xs.empty());
+  ACIC_ASSERT(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+/// Geometric mean; all inputs must be positive.
+inline double geomean(const std::vector<double>& xs) {
+  ACIC_ASSERT(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) {
+    ACIC_ASSERT(x > 0.0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace acic::util

@@ -1,0 +1,37 @@
+#pragma once
+// Aligned-column table printer used by the benchmark harnesses to emit
+// paper-style result rows, plus a companion CSV dump for plotting.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace acic::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns to `out` (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  /// Writes headers+rows as CSV to the given path; returns false on I/O
+  /// failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper producing std::string, for building table cells.
+std::string strformat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace acic::util

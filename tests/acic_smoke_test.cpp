@@ -1,0 +1,94 @@
+// Early integration smoke tests: ACIC on small graphs must match
+// Dijkstra exactly and terminate cleanly.  (The broader parameterized
+// correctness sweeps live in acic_correctness_test.cpp.)
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/sequential.hpp"
+#include "src/core/acic.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/validate.hpp"
+
+namespace {
+
+using acic::core::AcicConfig;
+using acic::core::AcicRunResult;
+using acic::graph::Csr;
+using acic::graph::GenParams;
+using acic::graph::Partition1D;
+using acic::runtime::Machine;
+using acic::runtime::Topology;
+
+AcicRunResult run_acic(const Csr& csr, acic::graph::VertexId source,
+                       const Topology& topo, const AcicConfig& config) {
+  Machine machine(topo);
+  const Partition1D partition =
+      Partition1D::block(csr.num_vertices(), topo.num_pes());
+  return acic::core::acic_sssp(machine, csr, partition, source, config);
+}
+
+TEST(AcicSmoke, TinyChainGraph) {
+  // 0 -> 1 -> 2 -> 3, unit-ish weights.
+  acic::graph::EdgeList list(4, {});
+  list.add(0, 1, 1.0);
+  list.add(1, 2, 2.0);
+  list.add(2, 3, 4.0);
+  const Csr csr = Csr::from_edge_list(list);
+
+  const AcicRunResult run = run_acic(csr, 0, Topology::tiny(2), {});
+  EXPECT_FALSE(run.hit_time_limit);
+  ASSERT_EQ(run.sssp.dist.size(), 4u);
+  EXPECT_DOUBLE_EQ(run.sssp.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(run.sssp.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(run.sssp.dist[2], 3.0);
+  EXPECT_DOUBLE_EQ(run.sssp.dist[3], 7.0);
+}
+
+TEST(AcicSmoke, MatchesDijkstraOnSmallRandomGraph) {
+  GenParams params;
+  params.num_vertices = 512;
+  params.num_edges = 4096;
+  params.seed = 7;
+  const Csr csr =
+      Csr::from_edge_list(acic::graph::generate_uniform_random(params));
+
+  const auto expected = acic::baselines::dijkstra(csr, 0);
+  const AcicRunResult run = run_acic(csr, 0, Topology{1, 2, 3}, {});
+  EXPECT_FALSE(run.hit_time_limit);
+
+  const auto cmp = acic::graph::compare_distances(run.sssp.dist, expected);
+  EXPECT_TRUE(cmp.ok) << cmp.error;
+  const auto fixed_point = acic::graph::validate_sssp(csr, 0, run.sssp.dist);
+  EXPECT_TRUE(fixed_point.ok) << fixed_point.error;
+}
+
+TEST(AcicSmoke, ConservationCreatedEqualsProcessed) {
+  GenParams params;
+  params.num_vertices = 256;
+  params.num_edges = 2048;
+  params.seed = 3;
+  const Csr csr =
+      Csr::from_edge_list(acic::graph::generate_uniform_random(params));
+
+  const AcicRunResult run = run_acic(csr, 0, Topology::tiny(4), {});
+  EXPECT_FALSE(run.hit_time_limit);
+  EXPECT_EQ(run.sssp.metrics.updates_created,
+            run.sssp.metrics.updates_processed);
+  EXPECT_GT(run.sssp.metrics.updates_created, 0u);
+  EXPECT_GT(run.reduction_cycles, 1u);
+}
+
+TEST(AcicSmoke, UnreachableVerticesStayInfinite) {
+  // Two disconnected components: 0-1 and 2-3.
+  acic::graph::EdgeList list(4, {});
+  list.add(0, 1, 1.0);
+  list.add(2, 3, 1.0);
+  const Csr csr = Csr::from_edge_list(list);
+
+  const AcicRunResult run = run_acic(csr, 0, Topology::tiny(2), {});
+  EXPECT_DOUBLE_EQ(run.sssp.dist[1], 1.0);
+  EXPECT_EQ(run.sssp.dist[2], acic::graph::kInfDist);
+  EXPECT_EQ(run.sssp.dist[3], acic::graph::kInfDist);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Tests for the BFS utilities, including the cross-check property that
+// BFS reachability agrees with every SSSP algorithm's set of finite
+// distances.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/sequential.hpp"
+#include "src/graph/bfs.hpp"
+#include "src/graph/generators.hpp"
+#include "src/stats/experiment.hpp"
+
+namespace {
+
+using acic::graph::bfs_hops;
+using acic::graph::Csr;
+using acic::graph::EdgeList;
+using acic::graph::kUnreachedHops;
+using acic::graph::VertexId;
+
+TEST(Bfs, HopsOnChain) {
+  EdgeList list(4, {});
+  list.add(0, 1, 9.0);
+  list.add(1, 2, 9.0);
+  list.add(2, 3, 9.0);
+  const auto hops = bfs_hops(Csr::from_edge_list(list), 0);
+  EXPECT_EQ(hops, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(Bfs, UnreachableMarked) {
+  EdgeList list(3, {});
+  list.add(0, 1, 1.0);
+  const auto hops = bfs_hops(Csr::from_edge_list(list), 0);
+  EXPECT_EQ(hops[2], kUnreachedHops);
+  EXPECT_EQ(acic::graph::count_reachable(Csr::from_edge_list(list), 0),
+            2u);
+}
+
+TEST(Bfs, ShortestHopsNotWeights) {
+  // A heavy 1-hop edge beats a light 2-hop path in hops, even though
+  // Dijkstra would prefer the light path.
+  EdgeList list(3, {});
+  list.add(0, 2, 100.0);
+  list.add(0, 1, 1.0);
+  list.add(1, 2, 1.0);
+  const auto hops = bfs_hops(Csr::from_edge_list(list), 0);
+  EXPECT_EQ(hops[2], 1u);
+}
+
+TEST(Bfs, EccentricityAndDiameter) {
+  // 1x8 path graph: diameter 7 hops.
+  acic::graph::GridParams grid;
+  grid.width = 8;
+  grid.height = 1;
+  grid.shortcut_fraction = 0.0;
+  const Csr csr =
+      Csr::from_edge_list(acic::graph::generate_grid_road(grid, 1));
+  EXPECT_EQ(acic::graph::eccentricity_hops(csr, 0), 7u);
+  // Double sweep is exact on paths even from the middle.
+  EXPECT_EQ(acic::graph::estimate_diameter_hops(csr, 3), 7u);
+}
+
+TEST(Bfs, RoadGraphHasHigherDiameterThanRandom) {
+  acic::stats::ExperimentSpec spec;
+  spec.scale = 12;
+  spec.seed = 3;
+  spec.graph = acic::stats::GraphKind::kRandom;
+  const Csr random_graph = acic::stats::build_graph(spec);
+  spec.graph = acic::stats::GraphKind::kRoad;
+  const Csr road_graph = acic::stats::build_graph(spec);
+  // The workload distinction the paper's §V leans on, quantified.
+  EXPECT_GT(acic::graph::estimate_diameter_hops(road_graph),
+            4 * acic::graph::estimate_diameter_hops(random_graph));
+}
+
+TEST(Bfs, ReachabilityAgreesWithDijkstra) {
+  acic::stats::ExperimentSpec spec;
+  spec.scale = 10;
+  spec.edge_factor = 2;  // leaves unreachable vertices
+  spec.seed = 9;
+  const Csr csr = acic::stats::build_graph(spec);
+  const auto hops = bfs_hops(csr, 0);
+  const auto dist = acic::baselines::dijkstra(csr, 0);
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    EXPECT_EQ(hops[v] == kUnreachedHops,
+              dist[v] == acic::graph::kInfDist)
+        << "vertex " << v;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Tests for the connected-components family (future work §V): union-find
+// ground truth, asynchronous introspective CC, and BSP label propagation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/cc/async_cc.hpp"
+#include "src/cc/bsp_cc.hpp"
+#include "src/cc/union_find.hpp"
+#include "src/graph/generators.hpp"
+#include "src/stats/experiment.hpp"
+
+namespace {
+
+using acic::cc::UnionFind;
+using acic::graph::Csr;
+using acic::graph::EdgeList;
+using acic::graph::Partition1D;
+using acic::graph::VertexId;
+using acic::runtime::Machine;
+using acic::runtime::Topology;
+
+TEST(UnionFindBasics, SingletonSets) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(uf.find(v), v);
+}
+
+TEST(UnionFindBasics, UniteMergesAndCounts) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));  // already same set
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.find(0), uf.find(2));
+  EXPECT_NE(uf.find(0), uf.find(3));
+}
+
+TEST(UnionFindBasics, ComponentsOfDisjointChains) {
+  EdgeList list(6, {});
+  list.add(0, 1, 1.0);
+  list.add(1, 2, 1.0);
+  list.add(3, 4, 1.0);
+  const auto labels =
+      acic::cc::connected_components(Csr::from_edge_list(list));
+  EXPECT_EQ(labels, (std::vector<VertexId>{0, 0, 0, 3, 3, 5}));
+  EXPECT_EQ(acic::cc::count_components(labels), 3u);
+}
+
+TEST(UnionFindBasics, DirectionIgnored) {
+  EdgeList list(3, {});
+  list.add(2, 0, 1.0);  // only a back edge
+  const auto labels =
+      acic::cc::connected_components(Csr::from_edge_list(list));
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[1], 1u);
+}
+
+Csr symmetrized_graph(acic::stats::GraphKind kind, std::uint64_t seed,
+                      std::uint32_t scale = 10,
+                      std::uint32_t edge_factor = 2) {
+  acic::graph::GenParams params;
+  params.num_vertices = VertexId{1} << scale;
+  params.num_edges =
+      static_cast<std::uint64_t>(edge_factor) * params.num_vertices;
+  params.seed = seed;
+  EdgeList list;
+  switch (kind) {
+    case acic::stats::GraphKind::kRmat:
+      list = acic::graph::generate_rmat(params);
+      break;
+    default:
+      list = acic::graph::generate_uniform_random(params);
+      break;
+  }
+  return Csr::from_edge_list(list.symmetrized());
+}
+
+class AsyncCcSweep
+    : public ::testing::TestWithParam<std::tuple<bool, std::uint64_t>> {};
+
+TEST_P(AsyncCcSweep, MatchesUnionFind) {
+  const auto [use_pq, seed] = GetParam();
+  // Edge factor 2 leaves a rich multi-component structure.
+  const Csr csr = symmetrized_graph(acic::stats::GraphKind::kRandom, seed);
+  const auto expected = acic::cc::connected_components(csr);
+
+  Machine machine(Topology{2, 2, 2});
+  const Partition1D partition =
+      Partition1D::block(csr.num_vertices(), machine.num_pes());
+  acic::cc::AsyncCcConfig config;
+  config.use_pq = use_pq;
+  const auto result =
+      acic::cc::async_cc(machine, csr, partition, config, 300e6);
+  ASSERT_FALSE(result.hit_time_limit);
+  EXPECT_EQ(result.labels, expected);
+  EXPECT_EQ(result.updates_created, result.updates_processed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, AsyncCcSweep,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ? "pq" : "nopq") +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(AsyncCc, RmatComponents) {
+  const Csr csr = symmetrized_graph(acic::stats::GraphKind::kRmat, 5);
+  const auto expected = acic::cc::connected_components(csr);
+  Machine machine(Topology{1, 2, 4});
+  const Partition1D partition =
+      Partition1D::block(csr.num_vertices(), machine.num_pes());
+  const auto result =
+      acic::cc::async_cc(machine, csr, partition, {}, 300e6);
+  EXPECT_EQ(result.labels, expected);
+}
+
+TEST(AsyncCc, FullyDisconnectedGraph) {
+  const Csr csr = Csr::from_edge_list(EdgeList(64, {}));
+  Machine machine(Topology::tiny(4));
+  const Partition1D partition = Partition1D::block(64, 4);
+  const auto result =
+      acic::cc::async_cc(machine, csr, partition, {}, 60e6);
+  ASSERT_FALSE(result.hit_time_limit);
+  for (VertexId v = 0; v < 64; ++v) EXPECT_EQ(result.labels[v], v);
+}
+
+TEST(AsyncCc, LabelsAreComponentMinima) {
+  const Csr csr = symmetrized_graph(acic::stats::GraphKind::kRandom, 7);
+  Machine machine(Topology{2, 2, 2});
+  const Partition1D partition =
+      Partition1D::block(csr.num_vertices(), machine.num_pes());
+  const auto result =
+      acic::cc::async_cc(machine, csr, partition, {}, 300e6);
+  // Every vertex's label must be <= its id and be a fixed point across
+  // every edge.
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    EXPECT_LE(result.labels[v], v);
+    for (const auto& nb : csr.out_neighbors(v)) {
+      EXPECT_EQ(result.labels[v], result.labels[nb.dst]);
+    }
+  }
+}
+
+TEST(BspCc, MatchesUnionFindAcrossSeeds) {
+  for (const std::uint64_t seed : {1u, 4u}) {
+    const Csr csr =
+        symmetrized_graph(acic::stats::GraphKind::kRandom, seed);
+    const auto expected = acic::cc::connected_components(csr);
+    Machine machine(Topology{2, 2, 2});
+    const Partition1D partition =
+        Partition1D::block(csr.num_vertices(), machine.num_pes());
+    const auto result =
+        acic::cc::bsp_cc(machine, csr, partition, {}, 300e6);
+    ASSERT_FALSE(result.hit_time_limit);
+    EXPECT_EQ(result.labels, expected) << "seed " << seed;
+    EXPECT_GT(result.supersteps, 0u);
+  }
+}
+
+TEST(BspCc, AgreesWithAsyncCc) {
+  const Csr csr = symmetrized_graph(acic::stats::GraphKind::kRmat, 9);
+  const Partition1D partition = Partition1D::block(csr.num_vertices(), 8);
+  Machine m1(Topology{1, 2, 4});
+  Machine m2(Topology{1, 2, 4});
+  const auto async_result = acic::cc::async_cc(m1, csr, partition, {}, 300e6);
+  const auto bsp_result = acic::cc::bsp_cc(m2, csr, partition, {}, 300e6);
+  EXPECT_EQ(async_result.labels, bsp_result.labels);
+}
+
+}  // namespace

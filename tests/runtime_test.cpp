@@ -1,0 +1,329 @@
+// Unit tests for the discrete-event runtime: topology math, event
+// ordering, task/charge semantics, network costing, idle handlers,
+// reductions/broadcasts, and the termination detector.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/runtime/collectives.hpp"
+#include "src/runtime/machine.hpp"
+
+namespace {
+
+using acic::runtime::IdleHandler;
+using acic::runtime::Locality;
+using acic::runtime::Machine;
+using acic::runtime::NetworkModel;
+using acic::runtime::Pe;
+using acic::runtime::PeId;
+using acic::runtime::Reducer;
+using acic::runtime::RunStats;
+using acic::runtime::SimTime;
+using acic::runtime::TerminationDetector;
+using acic::runtime::Topology;
+
+TEST(Topology, CountsAndOwnership) {
+  const Topology topo{2, 3, 4};  // 2 nodes, 3 procs/node, 4 PEs/proc
+  EXPECT_EQ(topo.num_pes(), 24u);
+  EXPECT_EQ(topo.num_procs(), 6u);
+  EXPECT_EQ(topo.num_entities(), 30u);
+  EXPECT_EQ(topo.proc_of(0), 0u);
+  EXPECT_EQ(topo.proc_of(4), 1u);
+  EXPECT_EQ(topo.proc_of(23), 5u);
+  EXPECT_EQ(topo.node_of(0), 0u);
+  EXPECT_EQ(topo.node_of(11), 0u);
+  EXPECT_EQ(topo.node_of(12), 1u);
+}
+
+TEST(Topology, CommThreadIds) {
+  const Topology topo{2, 3, 4};
+  EXPECT_FALSE(topo.is_comm_thread(23));
+  EXPECT_TRUE(topo.is_comm_thread(24));
+  EXPECT_EQ(topo.comm_thread_of_proc(0), 24u);
+  EXPECT_EQ(topo.proc_of(topo.comm_thread_of_proc(5)), 5u);
+  EXPECT_EQ(topo.node_of(topo.comm_thread_of_proc(3)), 1u);
+}
+
+TEST(Topology, LocalityClassification) {
+  const Topology topo{2, 2, 2};
+  EXPECT_EQ(topo.locality(0, 0), Locality::kSelf);
+  EXPECT_EQ(topo.locality(0, 1), Locality::kIntraProcess);
+  EXPECT_EQ(topo.locality(0, 2), Locality::kIntraNode);
+  EXPECT_EQ(topo.locality(0, 4), Locality::kInterNode);
+}
+
+TEST(Topology, PaperNodeIs48Workers) {
+  const Topology topo = Topology::paper_node(1);
+  EXPECT_EQ(topo.num_pes(), 48u);
+  EXPECT_EQ(topo.num_procs(), 8u);
+}
+
+TEST(NetworkModel, TransferMonotoneInBytesAndDistance) {
+  const NetworkModel net;
+  EXPECT_LT(net.transfer_time(Locality::kIntraProcess, 100),
+            net.transfer_time(Locality::kIntraNode, 100));
+  EXPECT_LT(net.transfer_time(Locality::kIntraNode, 100),
+            net.transfer_time(Locality::kInterNode, 100));
+  EXPECT_LT(net.transfer_time(Locality::kInterNode, 100),
+            net.transfer_time(Locality::kInterNode, 100000));
+}
+
+TEST(Machine, TasksRunInScheduleOrder) {
+  Machine machine(Topology::tiny(1));
+  std::vector<int> order;
+  machine.schedule_at(2.0, 0, [&](Pe&) { order.push_back(2); });
+  machine.schedule_at(1.0, 0, [&](Pe&) { order.push_back(1); });
+  machine.schedule_at(3.0, 0, [&](Pe&) { order.push_back(3); });
+  machine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Machine, TieBreaksBySequenceNumber) {
+  Machine machine(Topology::tiny(1));
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    machine.schedule_at(1.0, 0, [&order, i](Pe&) { order.push_back(i); });
+  }
+  machine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Machine, ChargeAdvancesTaskTime) {
+  Machine machine(Topology::tiny(1));
+  SimTime after_first = 0.0;
+  machine.schedule_at(0.0, 0, [&](Pe& pe) {
+    pe.charge(10.0);
+    after_first = pe.now();
+  });
+  SimTime second_start = 0.0;
+  machine.schedule_at(0.0, 0, [&](Pe& pe) { second_start = pe.now(); });
+  machine.run();
+  EXPECT_DOUBLE_EQ(after_first, 10.0);
+  // The second task cannot start before the first's simulated CPU ends.
+  EXPECT_GE(second_start, 10.0);
+}
+
+TEST(Machine, SendPaysNetworkCosts) {
+  const Topology topo{2, 1, 1};  // two single-PE nodes
+  NetworkModel net;
+  net.send_overhead_us = 1.0;
+  net.recv_overhead_us = 2.0;
+  net.latency_inter_node_us = 10.0;
+  net.bytes_per_us_inter_node = 100.0;
+  Machine machine(topo, net);
+
+  SimTime arrival_time = -1.0;
+  machine.schedule_at(0.0, 0, [&](Pe& pe) {
+    pe.send(1, 1000, [&](Pe& dst) { arrival_time = dst.now(); });
+  });
+  machine.run();
+  // send overhead 1 + latency 10 + 1000B/100Bpu = 10 + recv overhead 2.
+  EXPECT_DOUBLE_EQ(arrival_time, 1.0 + 10.0 + 10.0 + 2.0);
+}
+
+TEST(Machine, IntraProcessCheaperThanInterNode) {
+  const Topology topo{2, 1, 2};
+  Machine machine(topo);
+  SimTime local_arrival = 0.0;
+  SimTime remote_arrival = 0.0;
+  machine.schedule_at(0.0, 0, [&](Pe& pe) {
+    pe.send(1, 64, [&](Pe& d) { local_arrival = d.now(); });
+  });
+  machine.schedule_at(0.0, 1, [&](Pe& pe) {
+    pe.send(2, 64, [&](Pe& d) { remote_arrival = d.now(); });
+  });
+  machine.run();
+  EXPECT_LT(local_arrival, remote_arrival);
+}
+
+TEST(Machine, RunStatsCountMessagesAndBytes) {
+  Machine machine(Topology::tiny(2));
+  machine.schedule_at(0.0, 0, [&](Pe& pe) {
+    pe.send(1, 100, [](Pe&) {});
+    pe.send(1, 200, [](Pe&) {});
+  });
+  const RunStats stats = machine.run();
+  EXPECT_EQ(stats.messages_sent, 2u);
+  EXPECT_EQ(stats.bytes_sent, 300u);
+  EXPECT_GE(stats.tasks_executed, 3u);  // the kick-off task + 2 arrivals
+}
+
+TEST(Machine, IdleHandlerRunsWhenQueueDrains) {
+  Machine machine(Topology::tiny(1));
+  int polls = 0;
+  machine.set_idle_handler(0, [&](Pe&) {
+    ++polls;
+    return polls < 3;  // do "work" twice, then sleep
+  });
+  machine.schedule_at(0.0, 0, [](Pe&) {});
+  machine.run();
+  EXPECT_EQ(polls, 3);
+}
+
+TEST(Machine, IdleHandlerWakesAfterNewArrival) {
+  Machine machine(Topology::tiny(1));
+  int polls = 0;
+  machine.set_idle_handler(0, [&](Pe&) {
+    ++polls;
+    return false;
+  });
+  machine.schedule_at(0.0, 0, [](Pe&) {});
+  machine.schedule_at(100.0, 0, [](Pe&) {});
+  machine.run();
+  EXPECT_GE(polls, 2);  // once after each task drains the queue
+}
+
+TEST(Machine, TimeLimitStopsRun) {
+  Machine machine(Topology::tiny(1));
+  machine.set_idle_handler(0, [&](Pe& pe) {
+    pe.charge(10.0);
+    return true;  // work forever
+  });
+  machine.schedule_at(0.0, 0, [](Pe&) {});
+  const RunStats stats = machine.run(1000.0);
+  EXPECT_TRUE(stats.hit_time_limit);
+  EXPECT_LE(stats.end_time_us, 1100.0);
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Machine machine(Topology{1, 2, 2});
+    std::vector<std::pair<PeId, SimTime>> log;
+    for (PeId p = 0; p < machine.num_pes(); ++p) {
+      machine.schedule_at(0.0, p, [&log, p](Pe& pe) {
+        pe.charge(1.0);
+        pe.send((p + 1) % 4, 64, [&log](Pe& dst) {
+          log.emplace_back(dst.id(), dst.now());
+        });
+      });
+    }
+    machine.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Reducer, SumsAllContributionsAtRoot) {
+  Machine machine(Topology::tiny(7));
+  std::vector<double> root_sum;
+  Reducer reducer(
+      machine, 2,
+      [&](Pe&, std::uint64_t, const std::vector<double>& sum)
+          -> std::optional<std::vector<double>> {
+        root_sum = sum;
+        return std::nullopt;
+      },
+      [](Pe&, std::uint64_t, const std::vector<double>&) {});
+  for (PeId p = 0; p < machine.num_pes(); ++p) {
+    machine.schedule_at(0.0, p, [&reducer, p](Pe& pe) {
+      reducer.contribute(pe, {1.0, static_cast<double>(p)});
+    });
+  }
+  machine.run();
+  ASSERT_EQ(root_sum.size(), 2u);
+  EXPECT_DOUBLE_EQ(root_sum[0], 7.0);
+  EXPECT_DOUBLE_EQ(root_sum[1], 21.0);  // 0+1+...+6
+}
+
+TEST(Reducer, BroadcastReachesEveryPe) {
+  Machine machine(Topology{1, 2, 3});
+  std::vector<int> seen(machine.num_pes(), 0);
+  Reducer reducer(
+      machine, 1,
+      [](Pe&, std::uint64_t,
+         const std::vector<double>&) -> std::optional<std::vector<double>> {
+        return std::vector<double>{42.0};
+      },
+      [&](Pe& pe, std::uint64_t, const std::vector<double>& payload) {
+        EXPECT_DOUBLE_EQ(payload[0], 42.0);
+        ++seen[pe.id()];
+      });
+  for (PeId p = 0; p < machine.num_pes(); ++p) {
+    machine.schedule_at(0.0, p, [&reducer](Pe& pe) {
+      reducer.contribute(pe, {1.0});
+    });
+  }
+  machine.run();
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Reducer, PipelinedCyclesKeepSumsSeparate) {
+  Machine machine(Topology::tiny(3));
+  std::vector<double> sums;
+  Reducer reducer(
+      machine, 1,
+      [&](Pe&, std::uint64_t, const std::vector<double>& sum)
+          -> std::optional<std::vector<double>> {
+        sums.push_back(sum[0]);
+        return std::nullopt;
+      },
+      [](Pe&, std::uint64_t, const std::vector<double>&) {});
+  for (PeId p = 0; p < machine.num_pes(); ++p) {
+    machine.schedule_at(0.0, p, [&reducer](Pe& pe) {
+      reducer.contribute(pe, {1.0});  // cycle 0
+      reducer.contribute(pe, {10.0});  // cycle 1 immediately after
+    });
+  }
+  machine.run();
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 30.0);
+}
+
+TEST(Reducer, SingletonMachineReducesTrivially) {
+  Machine machine(Topology::tiny(1));
+  int cycles = 0;
+  Reducer reducer(
+      machine, 1,
+      [&](Pe&, std::uint64_t,
+          const std::vector<double>& sum) -> std::optional<std::vector<double>> {
+        ++cycles;
+        EXPECT_DOUBLE_EQ(sum[0], 5.0);
+        return std::nullopt;
+      },
+      [](Pe&, std::uint64_t, const std::vector<double>&) {});
+  machine.schedule_at(0.0, 0, [&reducer](Pe& pe) {
+    reducer.contribute(pe, {5.0});
+  });
+  machine.run();
+  EXPECT_EQ(cycles, 1);
+}
+
+TEST(TerminationDetector, DetectsQuiescenceAfterStableCounters) {
+  Machine machine(Topology::tiny(4));
+  std::vector<std::uint64_t> created(4, 1);
+  std::vector<std::uint64_t> processed(4, 1);
+  std::vector<int> terminated(4, 0);
+  TerminationDetector detector(
+      machine,
+      [&](Pe& pe) {
+        return std::make_pair(created[pe.id()], processed[pe.id()]);
+      },
+      [](Pe&) {}, [&](Pe& pe) { ++terminated[pe.id()]; }, 10.0);
+  detector.start();
+  machine.run();
+  EXPECT_TRUE(detector.terminated());
+  for (const int t : terminated) EXPECT_EQ(t, 1);
+}
+
+TEST(TerminationDetector, WaitsWhileCountersMove) {
+  Machine machine(Topology::tiny(2));
+  // PE 0's counters only match from the 3rd contribution on; termination
+  // needs two further stable cycles after that.
+  std::uint64_t calls = 0;
+  TerminationDetector detector(
+      machine,
+      [&](Pe& pe) -> std::pair<std::uint64_t, std::uint64_t> {
+        if (pe.id() == 0) ++calls;
+        const std::uint64_t processed = (calls >= 3) ? 5u : calls;
+        return {5u, pe.id() == 0 ? processed : 5u};
+      },
+      [](Pe&) {}, [](Pe&) {}, 5.0);
+  detector.start();
+  machine.run();
+  EXPECT_TRUE(detector.terminated());
+  EXPECT_GE(detector.cycles(), 4u);
+}
+
+}  // namespace

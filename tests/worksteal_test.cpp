@@ -1,0 +1,218 @@
+// Tests for ACIC's in-process work stealing (future work §V): exact
+// correctness under stealing, conservation including chunk accounting,
+// and actual redistribution of hub work.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/sequential.hpp"
+#include "src/core/acic.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/validate.hpp"
+#include "src/stats/experiment.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using acic::core::AcicConfig;
+using acic::graph::Csr;
+using acic::graph::Partition1D;
+using acic::runtime::Machine;
+using acic::runtime::Topology;
+
+class WorkStealSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WorkStealSweep, MatchesDijkstraAtAnyThreshold) {
+  acic::stats::ExperimentSpec spec;
+  spec.graph = acic::stats::GraphKind::kRmat;
+  spec.scale = 10;
+  spec.seed = 61;
+  const Csr csr = acic::stats::build_graph(spec);
+  const auto expected = acic::baselines::dijkstra(csr, 0);
+
+  Machine machine(Topology{2, 2, 3});
+  const Partition1D partition =
+      Partition1D::block(csr.num_vertices(), machine.num_pes());
+  AcicConfig config;
+  config.steal_threshold_degree = GetParam();
+  const auto run =
+      acic::core::acic_sssp(machine, csr, partition, 0, config, 120e6);
+  ASSERT_FALSE(run.hit_time_limit);
+  const auto cmp = acic::graph::compare_distances(run.sssp.dist, expected);
+  EXPECT_TRUE(cmp.ok) << cmp.error;
+  // Conservation must include the chunk pseudo-updates.
+  EXPECT_EQ(run.sssp.metrics.updates_created,
+            run.sssp.metrics.updates_processed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, WorkStealSweep,
+                         ::testing::Values(1u, 8u, 64u, 1024u),
+                         [](const auto& info) {
+                           return "threshold" +
+                                  std::to_string(info.param);
+                         });
+
+TEST(WorkSteal, SpreadsHubWorkAcrossProcess) {
+  // A star graph whose hub lives on PE 0: without stealing, PE 0 does
+  // all the relaxation work; with stealing its process siblings share it.
+  acic::graph::EdgeList list(4096, {});
+  acic::util::Xoshiro256 rng(5);
+  for (acic::graph::VertexId v = 1; v < 4096; ++v) {
+    list.add(0, v, rng.next_double(1.0, 10.0));
+  }
+  const Csr csr = Csr::from_edge_list(list);
+  const Topology topo{1, 1, 4};
+  const Partition1D partition = Partition1D::block(4096, 4);
+
+  auto hub_share = [&](std::uint32_t threshold) {
+    Machine machine(topo);
+    AcicConfig config;
+    config.steal_threshold_degree = threshold;
+    const auto run =
+        acic::core::acic_sssp(machine, csr, partition, 0, config, 120e6);
+    double total = 0.0;
+    for (const double b : run.pe_busy_us) total += b;
+    return run.pe_busy_us[0] / total;
+  };
+
+  const double share_without = hub_share(0);
+  const double share_with = hub_share(16);
+  // Without stealing PE 0 carries far more than its 1/4 fair share (it
+  // relaxes all 4095 hub edges on top of applying its own updates).
+  EXPECT_GT(share_without, 0.38);
+  EXPECT_LT(share_with, share_without * 0.85);
+}
+
+TEST(WorkSteal, SingleWorkerProcessDegradesGracefully) {
+  // With one PE per process there is nobody to steal; the shared-queue
+  // path must still terminate and be correct.
+  acic::stats::ExperimentSpec spec;
+  spec.graph = acic::stats::GraphKind::kRandom;
+  spec.scale = 9;
+  spec.seed = 62;
+  const Csr csr = acic::stats::build_graph(spec);
+  const auto expected = acic::baselines::dijkstra(csr, 0);
+
+  Machine machine(Topology{2, 2, 1});
+  const Partition1D partition =
+      Partition1D::block(csr.num_vertices(), machine.num_pes());
+  AcicConfig config;
+  config.steal_threshold_degree = 1;
+  const auto run =
+      acic::core::acic_sssp(machine, csr, partition, 0, config, 120e6);
+  EXPECT_TRUE(
+      acic::graph::compare_distances(run.sssp.dist, expected).ok);
+}
+
+TEST(WorkSteal, DeterministicWithStealing) {
+  acic::stats::ExperimentSpec spec;
+  spec.graph = acic::stats::GraphKind::kRmat;
+  spec.scale = 10;
+  spec.seed = 63;
+  const Csr csr = acic::stats::build_graph(spec);
+  const Partition1D partition = Partition1D::block(csr.num_vertices(), 8);
+
+  auto run_once = [&] {
+    Machine machine(Topology{1, 2, 4});
+    AcicConfig config;
+    config.steal_threshold_degree = 32;
+    return acic::core::acic_sssp(machine, csr, partition, 0, config,
+                                 120e6);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.sssp.dist, b.sssp.dist);
+  EXPECT_EQ(a.sssp.metrics.sim_time_us, b.sssp.metrics.sim_time_us);
+}
+
+}  // namespace
+
+namespace hubsplit {
+
+using acic::core::AcicConfig;
+using acic::graph::Csr;
+using acic::graph::Partition1D;
+using acic::runtime::Machine;
+using acic::runtime::Topology;
+
+class HubSplitSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HubSplitSweep, MatchesDijkstraAtAnyThreshold) {
+  acic::stats::ExperimentSpec spec;
+  spec.graph = acic::stats::GraphKind::kRmat;
+  spec.scale = 10;
+  spec.seed = 67;
+  const Csr csr = acic::stats::build_graph(spec);
+  const auto expected = acic::baselines::dijkstra(csr, 0);
+
+  Machine machine(Topology{2, 2, 2});
+  const Partition1D partition =
+      Partition1D::block(csr.num_vertices(), machine.num_pes());
+  AcicConfig config;
+  config.hub_split_degree = GetParam();
+  const auto run =
+      acic::core::acic_sssp(machine, csr, partition, 0, config, 120e6);
+  ASSERT_FALSE(run.hit_time_limit);
+  const auto cmp = acic::graph::compare_distances(run.sssp.dist, expected);
+  EXPECT_TRUE(cmp.ok) << cmp.error;
+  EXPECT_EQ(run.sssp.metrics.updates_created,
+            run.sssp.metrics.updates_processed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, HubSplitSweep,
+                         ::testing::Values(1u, 32u, 512u),
+                         [](const auto& info) {
+                           return "degree" + std::to_string(info.param);
+                         });
+
+TEST(HubSplit, ComposesWithWorkStealing) {
+  acic::stats::ExperimentSpec spec;
+  spec.graph = acic::stats::GraphKind::kRmat;
+  spec.scale = 10;
+  spec.seed = 68;
+  const Csr csr = acic::stats::build_graph(spec);
+  const auto expected = acic::baselines::dijkstra(csr, 0);
+
+  Machine machine(Topology{1, 2, 4});
+  const Partition1D partition = Partition1D::block(csr.num_vertices(), 8);
+  AcicConfig config;
+  config.hub_split_degree = 256;      // only the biggest hubs go global
+  config.steal_threshold_degree = 32; // mid-size hubs stay in-process
+  const auto run =
+      acic::core::acic_sssp(machine, csr, partition, 0, config, 120e6);
+  EXPECT_TRUE(
+      acic::graph::compare_distances(run.sssp.dist, expected).ok);
+}
+
+TEST(HubSplit, SpreadsStarGraphAcrossNodes) {
+  acic::graph::EdgeList list(4096, {});
+  acic::util::Xoshiro256 rng(5);
+  for (acic::graph::VertexId v = 1; v < 4096; ++v) {
+    list.add(0, v, rng.next_double(1.0, 10.0));
+  }
+  const Csr csr = Csr::from_edge_list(list);
+  const Topology topo{2, 2, 2};  // stealing alone cannot cross nodes
+  const Partition1D partition = Partition1D::block(4096, 8);
+
+  auto hub_share = [&](std::uint32_t degree) {
+    Machine machine(topo);
+    AcicConfig config;
+    config.hub_split_degree = degree;
+    const auto run =
+        acic::core::acic_sssp(machine, csr, partition, 0, config, 120e6);
+    double total = 0.0;
+    for (const double b : run.pe_busy_us) total += b;
+    return run.pe_busy_us[0] / total;
+  };
+  const double share_without = hub_share(0);
+  const double share_with = hub_share(16);
+  EXPECT_LT(share_with, share_without * 0.8);
+  // With global scattering, even PEs on the other node get real work.
+  Machine machine(topo);
+  AcicConfig config;
+  config.hub_split_degree = 16;
+  const auto run =
+      acic::core::acic_sssp(machine, csr, partition, 0, config, 120e6);
+  EXPECT_GT(run.pe_busy_us[7], 0.0);
+}
+
+}  // namespace hubsplit
