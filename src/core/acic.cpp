@@ -16,13 +16,13 @@
 
 namespace acic::core {
 
-namespace {
-
 using graph::Dist;
 using graph::VertexId;
 using runtime::Pe;
 using runtime::PeId;
 using sssp::Update;
+
+namespace {
 
 /// Per-PE algorithm state.  Only tasks running on the owning PE touch it
 /// (message-passing discipline; the simulation is single-threaded but the
@@ -70,16 +70,19 @@ struct StealChunk {
   std::size_t bucket = 0;  // histogram bucket of `dist`
 };
 
-class AcicEngine {
+}  // namespace
+
+class AcicEngine::Impl {
  public:
-  AcicEngine(runtime::Machine& machine, const graph::Csr& csr,
-             const graph::Partition1D& partition, VertexId source,
-             const AcicConfig& config)
+  Impl(runtime::Machine& machine, const graph::Csr& csr,
+       const graph::Partition1D& partition, VertexId source,
+       const AcicConfig& config, AcicEngineOptions options)
       : machine_(machine),
         csr_(csr),
         partition_(partition),
         source_(source),
         config_(config),
+        options_(std::move(options)),
         pes_(machine.num_pes()) {
     ACIC_ASSERT_MSG(partition.num_parts() == machine.num_pes(),
                     "partition parts must equal worker PE count");
@@ -107,32 +110,44 @@ class AcicEngine {
     build_reducer();
 
     steal_queues_.resize(machine_.topology().num_procs());
+    idle_handler_ids_.reserve(machine_.num_pes());
     for (PeId p = 0; p < machine_.num_pes(); ++p) {
-      machine_.set_idle_handler(p, [this](Pe& pe) {
-        // Pull-based stealing first (shared process queue), then the
-        // PE's own priority queue.
-        return drain_steal_queue(pe) || drain_pq(pe);
-      });
+      // add (not set): concurrent queries each register their own drain
+      // and the machine polls them round-robin (src/server/ relies on
+      // this to multiplex engines on shared PEs).
+      idle_handler_ids_.push_back(machine_.add_idle_handler(
+          p, [this](Pe& pe) {
+            // Pull-based stealing first (shared process queue), then the
+            // PE's own priority queue.
+            return drain_steal_queue(pe) || drain_pq(pe);
+          }));
     }
 
     // Inject the source update before the first contributions are
     // scheduled so the initial reduction can never observe 0 == 0.
+    const runtime::SimTime start = options_.start_time_us;
     const PeId source_owner = partition_.owner(source_);
-    machine_.schedule_at(0.0, source_owner, [this](Pe& pe) {
+    machine_.schedule_at(start, source_owner, [this](Pe& pe) {
       create_update(pe, source_, 0.0);
     });
     for (PeId p = 0; p < machine_.num_pes(); ++p) {
-      machine_.schedule_at(0.0, p, [this](Pe& pe) { contribute(pe); });
+      machine_.schedule_at(start, p, [this](Pe& pe) { contribute(pe); });
     }
   }
 
-  AcicRunResult run(runtime::SimTime time_limit_us) {
-    const runtime::RunStats stats = machine_.run(time_limit_us);
+  ~Impl() {
+    for (PeId p = 0; p < machine_.num_pes(); ++p) {
+      machine_.remove_idle_handler(p, idle_handler_ids_[p]);
+    }
+  }
 
+  bool complete() const { return terminated_pes_ == machine_.num_pes(); }
+  VertexId source() const { return source_; }
+
+  AcicRunResult collect() const {
     AcicRunResult result;
-    result.hit_time_limit = stats.hit_time_limit;
     result.reduction_cycles = reducer_->cycles_completed();
-    result.histograms = std::move(snapshots_);
+    result.histograms = snapshots_;
 
     result.sssp.dist.assign(csr_.num_vertices(), graph::kInfDist);
     for (const PeState& state : pes_) {
@@ -152,15 +167,7 @@ class AcicEngine {
       result.lifecycle.superseded_in_pq += state.superseded;
       result.lifecycle.expanded += state.expanded;
     }
-    result.sssp.metrics.network_messages = stats.messages_sent;
-    result.sssp.metrics.network_bytes = stats.bytes_sent;
     result.sssp.metrics.collective_cycles = reducer_->cycles_completed();
-    result.sssp.metrics.sim_time_us = stats.end_time_us;
-
-    result.pe_busy_us.resize(machine_.num_pes());
-    for (PeId p = 0; p < machine_.num_pes(); ++p) {
-      result.pe_busy_us[p] = machine_.pe_busy_us(p);
-    }
     return result;
   }
 
@@ -508,6 +515,14 @@ class AcicEngine {
     if (payload[2] != 0.0) {
       state.terminated = true;
       abandon_remaining(state);
+      // The last PE to retire completes the query.  At this point the
+      // created == processed quiescence means no update message still
+      // references this engine, so the owner may schedule retirement
+      // (in a *separate* task — our frames are on the stack here).
+      ++terminated_pes_;
+      if (terminated_pes_ == machine_.num_pes() && options_.on_complete) {
+        options_.on_complete(pe);
+      }
       return;
     }
     state.t_tram = static_cast<std::size_t>(payload[0]);
@@ -541,8 +556,11 @@ class AcicEngine {
   const graph::Partition1D& partition_;
   VertexId source_;
   AcicConfig config_;
+  AcicEngineOptions options_;
 
   std::vector<PeState> pes_;
+  std::vector<runtime::IdleHandlerId> idle_handler_ids_;
+  std::uint32_t terminated_pes_ = 0;
   std::unique_ptr<tram::Tram<Update>> tram_;
   std::unique_ptr<runtime::Reducer> reducer_;
 
@@ -557,14 +575,37 @@ class AcicEngine {
   std::vector<std::deque<StealChunk>> steal_queues_;
 };
 
-}  // namespace
+AcicEngine::AcicEngine(runtime::Machine& machine, const graph::Csr& csr,
+                       const graph::Partition1D& partition, VertexId source,
+                       const AcicConfig& config, AcicEngineOptions options)
+    : impl_(std::make_unique<Impl>(machine, csr, partition, source, config,
+                                   std::move(options))) {}
+
+AcicEngine::~AcicEngine() = default;
+
+bool AcicEngine::complete() const { return impl_->complete(); }
+VertexId AcicEngine::source() const { return impl_->source(); }
+AcicRunResult AcicEngine::collect() const { return impl_->collect(); }
 
 AcicRunResult acic_sssp(runtime::Machine& machine, const graph::Csr& csr,
                         const graph::Partition1D& partition,
                         VertexId source, const AcicConfig& config,
                         runtime::SimTime time_limit_us) {
   AcicEngine engine(machine, csr, partition, source, config);
-  return engine.run(time_limit_us);
+  const runtime::RunStats stats = machine.run(time_limit_us);
+
+  // Per-query counters come from the engine; machine-level accounting
+  // (network totals, end time, per-PE busy time) from this run().
+  AcicRunResult result = engine.collect();
+  result.hit_time_limit = stats.hit_time_limit;
+  result.sssp.metrics.network_messages = stats.messages_sent;
+  result.sssp.metrics.network_bytes = stats.bytes_sent;
+  result.sssp.metrics.sim_time_us = stats.end_time_us;
+  result.pe_busy_us.resize(machine.num_pes());
+  for (PeId p = 0; p < machine.num_pes(); ++p) {
+    result.pe_busy_us[p] = machine.pe_busy_us(p);
+  }
+  return result;
 }
 
 }  // namespace acic::core

@@ -22,6 +22,8 @@
 // counters (paper §II.D).
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/core/config.hpp"
@@ -65,6 +67,57 @@ struct AcicRunResult {
   std::vector<HistogramSnapshot> histograms;
   /// Per-worker busy time, for load-imbalance analysis.
   std::vector<runtime::SimTime> pe_busy_us;
+};
+
+/// Options controlling how an engine instance attaches to the machine
+/// (defaults reproduce the classic standalone acic_sssp run).
+struct AcicEngineOptions {
+  /// Simulated time at which the source update is injected and the
+  /// reduction cycle starts.  0 for a standalone run; the admission time
+  /// when a query joins an already-running machine (src/server/).
+  runtime::SimTime start_time_us = 0.0;
+  /// Invoked exactly once — from inside a machine task on the last PE to
+  /// observe the termination broadcast — when the query has fully
+  /// quiesced.  The engine must NOT be destroyed from inside the
+  /// callback (engine code is still on the stack); schedule a separate
+  /// task for retirement, as QueryService does.
+  std::function<void(runtime::Pe&)> on_complete;
+};
+
+/// One ACIC SSSP query attached to a Machine.  Engines are per-query
+/// objects: several can coexist on one machine (each owns its own
+/// tramlib instance, reduction tree and priority queues, so their
+/// traffic is naturally namespaced by the closures it travels in), and
+/// each registers its idle-time pq drain via Machine::add_idle_handler
+/// so concurrent queries share idle dispatch instead of clobbering it.
+///
+/// Destruction contract: destroy only after complete() — at termination
+/// the created == processed quiescence guarantees no in-flight update
+/// messages reference the engine — and never from a task the engine
+/// itself issued (its frames are below you on the stack).
+class AcicEngine {
+ public:
+  AcicEngine(runtime::Machine& machine, const graph::Csr& csr,
+             const graph::Partition1D& partition, graph::VertexId source,
+             const AcicConfig& config, AcicEngineOptions options = {});
+  ~AcicEngine();
+
+  AcicEngine(const AcicEngine&) = delete;
+  AcicEngine& operator=(const AcicEngine&) = delete;
+
+  /// True once every PE has observed the termination broadcast.
+  bool complete() const;
+  graph::VertexId source() const;
+
+  /// Distances, lifecycle counters, reduction cycles and histogram
+  /// snapshots.  Machine-level fields (network totals, sim time, per-PE
+  /// busy time) are left zero: they are per-machine, not per-query —
+  /// acic_sssp fills them from RunStats for standalone runs.
+  AcicRunResult collect() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Runs ACIC SSSP on `machine` (freshly constructed; one run per machine

@@ -69,11 +69,46 @@ void Machine::schedule_at(SimTime time, PeId pe, Task task) {
 
 void Machine::set_idle_handler(PeId pe, IdleHandler handler) {
   ACIC_ASSERT(pe < num_entities());
-  pes_[pe].idle_handler_ = std::move(handler);
+  ACIC_ASSERT_MSG(pes_[pe].idle_handlers_.empty(),
+                  "an idle handler is already registered on this PE; "
+                  "use add_idle_handler to multiplex (multi-tenant "
+                  "engines must not clobber each other)");
+  add_idle_handler(pe, std::move(handler));
+}
+
+IdleHandlerId Machine::add_idle_handler(PeId pe, IdleHandler handler) {
+  ACIC_ASSERT(pe < num_entities());
+  ACIC_ASSERT_MSG(!pes_[pe].idle_polling_,
+                  "cannot register an idle handler from inside an idle "
+                  "poll on the same PE");
+  const IdleHandlerId id = next_idle_handler_id_++;
+  pes_[pe].idle_handlers_.push_back(Pe::IdleEntry{id, std::move(handler)});
   // If the PE is already asleep, poke it so the new handler gets a chance
   // to run; an exec event on an empty queue degrades to an idle poll.
   ensure_exec_scheduled(pes_[pe],
                         std::max(current_time_, pes_[pe].avail_time_));
+  return id;
+}
+
+void Machine::remove_idle_handler(PeId pe, IdleHandlerId id) {
+  ACIC_ASSERT(pe < num_entities());
+  ACIC_ASSERT_MSG(!pes_[pe].idle_polling_,
+                  "cannot deregister an idle handler from inside an idle "
+                  "poll on the same PE");
+  auto& handlers = pes_[pe].idle_handlers_;
+  for (std::size_t i = 0; i < handlers.size(); ++i) {
+    if (handlers[i].id == id) {
+      handlers.erase(handlers.begin() + static_cast<std::ptrdiff_t>(i));
+      if (pes_[pe].idle_cursor_ > i) --pes_[pe].idle_cursor_;
+      return;
+    }
+  }
+  ACIC_ASSERT_MSG(false, "idle handler id not registered on this PE");
+}
+
+std::size_t Machine::num_idle_handlers(PeId pe) const {
+  ACIC_ASSERT(pe < num_entities());
+  return pes_[pe].idle_handlers_.size();
 }
 
 void Machine::set_speed_factor(PeId pe, double factor) {
@@ -123,12 +158,27 @@ void Machine::handle_exec(const Event& event) {
     return;
   }
 
-  // Queue empty: poll the idle handler (Charm++'s when-idle callback).
-  if (pe.idle_handler_) {
+  // Queue empty: poll the idle handlers (Charm++'s when-idle callback).
+  // With several registered (multi-tenant engines sharing the PE), one
+  // poll tries each in turn — starting after the handler that last did
+  // work, so no engine can starve the others — and stops at the first
+  // that reports work.
+  if (!pe.idle_handlers_.empty()) {
     const SimTime span_start = pe.current_time_;
     pe.charge(idle_poll_cost_us_);
     if (active_stats_ != nullptr) ++active_stats_->idle_polls;
-    const bool did_work = pe.idle_handler_(pe);
+    bool did_work = false;
+    pe.idle_polling_ = true;
+    const std::size_t n = pe.idle_handlers_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = (pe.idle_cursor_ + i) % n;
+      if (pe.idle_handlers_[idx].handler(pe)) {
+        did_work = true;
+        pe.idle_cursor_ = (idx + 1) % n;
+        break;
+      }
+    }
+    pe.idle_polling_ = false;
     if (span_hook_) {
       // Idle polls that found work count as busy spans.
       span_hook_(pe.id_, span_start, pe.current_time_, !did_work);

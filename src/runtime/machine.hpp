@@ -51,6 +51,9 @@ using Task = std::function<void(Pe&)>;
 /// message arrives.
 using IdleHandler = std::function<bool(Pe&)>;
 
+/// Handle returned by Machine::add_idle_handler, used to deregister.
+using IdleHandlerId = std::uint64_t;
+
 inline constexpr SimTime kNoTimeLimit =
     std::numeric_limits<SimTime>::infinity();
 
@@ -97,7 +100,16 @@ class Pe {
   SimTime avail_time_ = 0.0;     // when the PE finishes its current task
   SimTime current_time_ = 0.0;   // time inside the running task
   bool exec_scheduled_ = false;
-  IdleHandler idle_handler_;
+
+  // Registered idle handlers, polled round-robin (multi-tenant engines
+  // each register one; see Machine::add_idle_handler).
+  struct IdleEntry {
+    IdleHandlerId id;
+    IdleHandler handler;
+  };
+  std::vector<IdleEntry> idle_handlers_;
+  std::size_t idle_cursor_ = 0;  // next handler to poll (fairness)
+  bool idle_polling_ = false;    // guards against mutation mid-poll
 
   // Per-PE accounting (read by load-imbalance analyses).
   SimTime busy_us_ = 0.0;
@@ -128,8 +140,27 @@ class Machine {
   /// initial work injection and timers).
   void schedule_at(SimTime time, PeId pe, Task task);
 
-  /// Installs the idle handler for `pe` (replaces any existing one).
+  /// Installs the *sole* idle handler for `pe`.  Asserts if any handler
+  /// is already registered: a second engine silently clobbering the
+  /// first's pull loop was exactly the bug that made multi-tenant runs
+  /// impossible.  Multi-tenant code must use add_idle_handler instead.
   void set_idle_handler(PeId pe, IdleHandler handler);
+
+  /// Registers an additional idle handler for `pe` and returns a handle
+  /// for deregistration.  When the PE goes idle, registered handlers are
+  /// polled round-robin (one poll tries handlers in registration order,
+  /// starting after the last one that did work) until one reports work —
+  /// so concurrently active engines share the PE's idle time fairly and
+  /// deterministically.  Handlers must not (de)register handlers on this
+  /// PE from inside an idle poll.
+  IdleHandlerId add_idle_handler(PeId pe, IdleHandler handler);
+
+  /// Deregisters a handler previously returned by add_idle_handler.
+  /// Asserts if `id` is not currently registered on `pe`.
+  void remove_idle_handler(PeId pe, IdleHandlerId id);
+
+  /// Number of idle handlers currently registered on `pe`.
+  std::size_t num_idle_handlers(PeId pe) const;
 
   /// Runs the event loop until the queue drains or `time_limit` is
   /// reached.  May be called repeatedly; time continues monotonically.
@@ -193,6 +224,7 @@ class Machine {
   std::vector<Pe> pes_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::uint64_t next_seq_ = 0;
+  IdleHandlerId next_idle_handler_id_ = 1;
   SimTime current_time_ = 0.0;
   SimTime idle_poll_cost_us_ = 0.05;
 

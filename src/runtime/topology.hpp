@@ -59,8 +59,14 @@ struct Topology {
     return Locality::kInterNode;
   }
 
+  /// Rejects degenerate shapes up front: a zero in any dimension would
+  /// otherwise surface only as downstream UB (empty PE vectors indexed
+  /// by id, modulo-by-zero in locality math).
   void validate() const {
-    ACIC_ASSERT(nodes > 0 && procs_per_node > 0 && pes_per_proc > 0);
+    ACIC_ASSERT_MSG(nodes > 0, "Topology: nodes must be > 0");
+    ACIC_ASSERT_MSG(procs_per_node > 0,
+                    "Topology: procs_per_node must be > 0");
+    ACIC_ASSERT_MSG(pes_per_proc > 0, "Topology: pes_per_proc must be > 0");
   }
 
   /// Paper configuration: 8 procs/node, 6 workers each (48 PEs/node).

@@ -1,0 +1,47 @@
+#include "src/server/cache.hpp"
+
+#include <utility>
+
+namespace acic::server {
+
+const std::vector<graph::Dist>* DistanceCache::lookup(
+    graph::VertexId source) {
+  const auto it = index_.find(source);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  return &entries_.front().dist;
+}
+
+const std::vector<graph::Dist>* DistanceCache::peek(
+    graph::VertexId source) const {
+  const auto it = index_.find(source);
+  return it != index_.end() ? &it->second->dist : nullptr;
+}
+
+void DistanceCache::insert(graph::VertexId source,
+                           std::vector<graph::Dist> dist) {
+  if (capacity_ == 0) return;
+  const auto it = index_.find(source);
+  if (it != index_.end()) {
+    // Refresh: same graph means same answer, but keep the newest vector
+    // and promote (a concurrent duplicate query may legitimately land
+    // here after both ran as misses).
+    it->second->dist = std::move(dist);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    index_.erase(entries_.back().source);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  entries_.push_front(Entry{source, std::move(dist)});
+  index_[source] = entries_.begin();
+  ++stats_.insertions;
+}
+
+}  // namespace acic::server

@@ -1,0 +1,72 @@
+#pragma once
+// LRU distance-result cache for the serving layer.
+//
+// A Zipf-popular head of sources means many queries repeat a source the
+// service has already solved; re-running the whole ACIC engine for them
+// wastes every PE's time.  The cache keys complete distance vectors by
+// source vertex.  Entries are exact, not approximate: on a static graph
+// a cached answer is byte-identical to a fresh engine run (the property
+// tests enforce this), so a hit can be served for one front-end lookup
+// charge instead of a full multi-PE query.
+//
+// Capacity is counted in entries because every entry has the same size
+// (|V| distances); eviction is strict least-recently-used.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/types.hpp"
+
+namespace acic::server {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class DistanceCache {
+ public:
+  /// Capacity 0 disables the cache (every lookup misses, inserts are
+  /// dropped) — used by the no-cache arms of the serving benchmarks.
+  explicit DistanceCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached distances for `source` (promoting the entry to
+  /// most-recently-used) or nullptr on a miss.  Counts either way.
+  const std::vector<graph::Dist>* lookup(graph::VertexId source);
+
+  /// Peek without touching recency or hit/miss accounting (test hook).
+  const std::vector<graph::Dist>* peek(graph::VertexId source) const;
+
+  /// Inserts (or refreshes) the result for `source`, evicting the
+  /// least-recently-used entry if at capacity.
+  void insert(graph::VertexId source, std::vector<graph::Dist> dist);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    graph::VertexId source;
+    std::vector<graph::Dist> dist;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<graph::VertexId, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace acic::server

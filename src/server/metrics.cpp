@@ -1,0 +1,76 @@
+#include "src/server/metrics.hpp"
+
+#include <algorithm>
+
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+
+namespace acic::server {
+
+void ServiceMetrics::sample_queue(runtime::SimTime time_us,
+                                  std::uint32_t waiting,
+                                  std::uint32_t running) {
+  samples_.push_back(QueueDepthSample{time_us, waiting, running});
+}
+
+ServiceSummary ServiceMetrics::summarize(const CacheStats& cache) const {
+  ServiceSummary s;
+  s.completed = records_.size();
+  s.cache_hit_rate = cache.hit_rate();
+  if (records_.empty()) return s;
+
+  std::vector<double> latencies;
+  std::vector<double> waits;
+  latencies.reserve(records_.size());
+  waits.reserve(records_.size());
+  runtime::SimTime first_arrival = records_.front().arrival_us;
+  runtime::SimTime last_completion = 0.0;
+  for (const QueryRecord& r : records_) {
+    latencies.push_back(r.latency_us());
+    waits.push_back(r.queue_wait_us());
+    first_arrival = std::min(first_arrival, r.arrival_us);
+    last_completion = std::max(last_completion, r.complete_us);
+    if (r.cache_hit) ++s.cache_hits;
+  }
+  s.p50_latency_us = util::percentile(latencies, 50.0);
+  s.p95_latency_us = util::percentile(latencies, 95.0);
+  s.p99_latency_us = util::percentile(latencies, 99.0);
+  s.mean_latency_us = util::mean(latencies);
+  s.max_latency_us = util::max_of(latencies);
+  s.mean_queue_wait_us = util::mean(waits);
+  s.makespan_us = last_completion - first_arrival;
+  s.throughput_qps = s.makespan_us > 0.0
+                         ? static_cast<double>(s.completed) /
+                               (s.makespan_us * 1e-6)
+                         : 0.0;
+  for (const QueueDepthSample& q : samples_) {
+    s.max_queue_depth = std::max(s.max_queue_depth, q.waiting);
+    s.max_concurrent = std::max(s.max_concurrent, q.running);
+  }
+  return s;
+}
+
+std::string format_summary(const ServiceSummary& s) {
+  std::string out;
+  out += util::strformat(
+      "  completed %llu queries in %.3f ms simulated (%.1f qps)\n",
+      static_cast<unsigned long long>(s.completed), s.makespan_us / 1000.0,
+      s.throughput_qps);
+  out += util::strformat(
+      "  latency us: p50 %.1f  p95 %.1f  p99 %.1f  mean %.1f  max %.1f\n",
+      s.p50_latency_us, s.p95_latency_us, s.p99_latency_us,
+      s.mean_latency_us, s.max_latency_us);
+  out += util::strformat(
+      "  queueing: mean wait %.1f us, max depth %u; max concurrent "
+      "engines %u\n",
+      s.mean_queue_wait_us, s.max_queue_depth, s.max_concurrent);
+  // cache_hits counts queries served without an engine (including hits
+  // discovered at admission); hit_rate counts front-end lookups only.
+  out += util::strformat(
+      "  cache: %llu queries served from cache; lookup hit rate %.1f%%\n",
+      static_cast<unsigned long long>(s.cache_hits),
+      100.0 * s.cache_hit_rate);
+  return out;
+}
+
+}  // namespace acic::server

@@ -1,0 +1,86 @@
+#pragma once
+// Per-query latency records and service-level aggregates.
+//
+// The serving layer's figure of merit is not one run's makespan but the
+// *distribution* of query latencies under load: tail percentiles expose
+// queueing that the mean hides (a p99 dominated by admission-queue wait
+// is the classic sign of an under-provisioned service).  Records are
+// appended in completion order; queue-depth samples are appended at
+// every lifecycle transition so depth-over-time can be plotted.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/types.hpp"
+#include "src/runtime/network.hpp"
+#include "src/server/cache.hpp"
+
+namespace acic::server {
+
+/// Lifecycle timestamps of one query (all in simulated microseconds).
+struct QueryRecord {
+  std::uint64_t id = 0;
+  graph::VertexId source = 0;
+  runtime::SimTime arrival_us = 0.0;   // offered (workload) arrival time
+  runtime::SimTime admit_us = 0.0;     // left the wait queue / cache hit
+  runtime::SimTime complete_us = 0.0;  // distances available
+  bool cache_hit = false;
+
+  runtime::SimTime latency_us() const { return complete_us - arrival_us; }
+  runtime::SimTime queue_wait_us() const { return admit_us - arrival_us; }
+  runtime::SimTime service_us() const { return complete_us - admit_us; }
+};
+
+/// Queue state observed at one lifecycle transition.
+struct QueueDepthSample {
+  runtime::SimTime time_us = 0.0;
+  std::uint32_t waiting = 0;  // admission queue depth
+  std::uint32_t running = 0;  // in-flight engines
+};
+
+/// Aggregates over one service run.
+struct ServiceSummary {
+  std::uint64_t completed = 0;
+  std::uint64_t cache_hits = 0;
+
+  double p50_latency_us = 0.0;
+  double p95_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double mean_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  double mean_queue_wait_us = 0.0;
+
+  /// Completions per simulated second over the span from first arrival
+  /// to last completion.
+  double throughput_qps = 0.0;
+  double cache_hit_rate = 0.0;
+
+  std::uint32_t max_queue_depth = 0;   // waiting, not running
+  std::uint32_t max_concurrent = 0;    // running engines
+  runtime::SimTime makespan_us = 0.0;  // first arrival -> last completion
+};
+
+/// Collects records and samples; computes the summary on demand.
+class ServiceMetrics {
+ public:
+  void record(const QueryRecord& record) { records_.push_back(record); }
+  void sample_queue(runtime::SimTime time_us, std::uint32_t waiting,
+                    std::uint32_t running);
+
+  const std::vector<QueryRecord>& records() const { return records_; }
+  const std::vector<QueueDepthSample>& queue_samples() const {
+    return samples_;
+  }
+
+  ServiceSummary summarize(const CacheStats& cache) const;
+
+ private:
+  std::vector<QueryRecord> records_;
+  std::vector<QueueDepthSample> samples_;
+};
+
+/// Human-readable multi-line rendering (examples and benches).
+std::string format_summary(const ServiceSummary& summary);
+
+}  // namespace acic::server

@@ -1,0 +1,183 @@
+#include "src/server/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace acic::server {
+
+QueryService::QueryService(runtime::Machine& machine, const graph::Csr& csr,
+                           const graph::Partition1D& partition,
+                           ServiceConfig config)
+    : machine_(machine),
+      csr_(csr),
+      partition_(partition),
+      config_(std::move(config)),
+      cache_(config_.cache_capacity) {
+  ACIC_ASSERT_MSG(partition_.num_parts() == machine_.num_pes(),
+                  "partition parts must equal worker PE count");
+  ACIC_ASSERT_MSG(config_.max_inflight > 0,
+                  "admission controller needs max_inflight >= 1");
+  ACIC_ASSERT(config_.frontend_pe < machine_.num_pes());
+}
+
+QueryService::~QueryService() = default;
+
+void QueryService::submit(const std::vector<QueryArrival>& arrivals) {
+  for (const QueryArrival& arrival : arrivals) {
+    ACIC_ASSERT_MSG(arrival.source < csr_.num_vertices(),
+                    "query source outside the graph");
+    QueryRecord record;
+    record.id = arrival.id;
+    record.source = arrival.source;
+    record.arrival_us = arrival.arrival_us;
+    const std::size_t index = pending_records_.size();
+    pending_records_.push_back(record);
+    ++submitted_;
+    machine_.schedule_at(arrival.arrival_us, config_.frontend_pe,
+                         [this, index](runtime::Pe& pe) {
+                           on_arrival(pe, index);
+                         });
+  }
+}
+
+void QueryService::on_arrival(runtime::Pe& pe, std::size_t record_index) {
+  QueryRecord& record = pending_records_[record_index];
+  // Front-end cache check: the one counted lookup this query makes.
+  pe.charge(config_.cache_lookup_cost_us);
+  if (cache_.lookup(record.source) != nullptr) {
+    record.admit_us = pe.now();
+    complete_record(pe, record_index, /*cache_hit=*/true);
+    sample_queue(pe.now());
+    return;
+  }
+  wait_queue_.push_back(
+      Pending{record.id, record.source, record_index});
+  try_admit(pe);
+  sample_queue(pe.now());
+}
+
+void QueryService::try_admit(runtime::Pe& pe) {
+  while (running_.size() < config_.max_inflight && !wait_queue_.empty()) {
+    const Pending pending = wait_queue_.front();
+    wait_queue_.erase(wait_queue_.begin());
+    // The result may have been cached while this query waited (a hot
+    // source admitted ahead of it completed): serve it engine-free.
+    // peek() keeps the hit/miss accounting at one lookup per query.
+    if (cache_.peek(pending.source) != nullptr) {
+      pending_records_[pending.record_index].admit_us = pe.now();
+      complete_record(pe, pending.record_index, /*cache_hit=*/true);
+      continue;
+    }
+    start_engine(pe, pending);
+  }
+}
+
+void QueryService::start_engine(runtime::Pe& pe, const Pending& pending) {
+  QueryRecord& record = pending_records_[pending.record_index];
+  record.admit_us = pe.now();
+
+  core::AcicEngineOptions options;
+  options.start_time_us = pe.now();
+  const std::uint64_t id = pending.id;
+  options.on_complete = [this, id](runtime::Pe& done_pe) {
+    on_engine_complete(done_pe, id);
+  };
+  InFlight inflight;
+  inflight.id = id;
+  inflight.record_index = pending.record_index;
+  inflight.engine = std::make_unique<core::AcicEngine>(
+      machine_, csr_, partition_, pending.source, config_.engine,
+      std::move(options));
+  running_.push_back(std::move(inflight));
+}
+
+void QueryService::on_engine_complete(runtime::Pe& pe, std::uint64_t id) {
+  const auto it =
+      std::find_if(running_.begin(), running_.end(),
+                   [id](const InFlight& f) { return f.id == id; });
+  ACIC_ASSERT_MSG(it != running_.end(),
+                  "completion for a query that is not running");
+
+  core::AcicRunResult result = it->engine->collect();
+  const std::size_t record_index = it->record_index;
+  if (config_.keep_distances) {
+    results_[id] = result.sssp.dist;
+  }
+  cache_.insert(pending_records_[record_index].source,
+                std::move(result.sssp.dist));
+
+  // The engine's broadcast handler is below us on the stack: park the
+  // engine and destroy it from a fresh task once this one unwinds.
+  retiring_.push_back(std::move(it->engine));
+  running_.erase(it);
+  schedule_retirement_sweep(pe);
+
+  complete_record(pe, record_index, /*cache_hit=*/false);
+  try_admit(pe);
+  sample_queue(pe.now());
+}
+
+void QueryService::complete_record(runtime::Pe& pe,
+                                   std::size_t record_index,
+                                   bool cache_hit) {
+  QueryRecord& record = pending_records_[record_index];
+  record.complete_us = pe.now();
+  record.cache_hit = cache_hit;
+  if (config_.keep_distances && cache_hit) {
+    // A hit is only ever declared with the entry present.
+    results_[record.id] = *cache_.peek(record.source);
+  }
+  metrics_.record(record);
+}
+
+void QueryService::sample_queue(runtime::SimTime time_us) {
+  metrics_.sample_queue(time_us,
+                        static_cast<std::uint32_t>(wait_queue_.size()),
+                        static_cast<std::uint32_t>(running_.size()));
+}
+
+void QueryService::schedule_retirement_sweep(runtime::Pe& pe) {
+  if (sweep_scheduled_) return;
+  sweep_scheduled_ = true;
+  machine_.schedule_at(pe.now(), config_.frontend_pe,
+                       [this](runtime::Pe&) {
+                         retiring_.clear();
+                         sweep_scheduled_ = false;
+                       });
+}
+
+runtime::RunStats QueryService::run(runtime::SimTime time_limit_us) {
+  const runtime::RunStats stats = machine_.run(time_limit_us);
+  // The machine drained (or stopped at the limit with no task running):
+  // no engine frame can be on the stack, so reclamation is safe here
+  // even if a sweep task never got to run.
+  retiring_.clear();
+  sweep_scheduled_ = false;
+  return stats;
+}
+
+std::uint64_t QueryService::completed_count() const {
+  return metrics_.records().size();
+}
+
+const std::vector<QueryRecord>& QueryService::records() const {
+  return metrics_.records();
+}
+
+const std::vector<QueueDepthSample>& QueryService::queue_samples() const {
+  return metrics_.queue_samples();
+}
+
+ServiceSummary QueryService::summary() const {
+  return metrics_.summarize(cache_.stats());
+}
+
+const std::vector<graph::Dist>* QueryService::distances_for(
+    std::uint64_t id) const {
+  const auto it = results_.find(id);
+  return it != results_.end() ? &it->second : nullptr;
+}
+
+}  // namespace acic::server

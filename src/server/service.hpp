@@ -1,0 +1,148 @@
+#pragma once
+// QueryService — concurrent multi-query SSSP serving on one simulated
+// machine.
+//
+// The classic repo flow answers one query per Machine lifetime:
+// construct engine, run(), drain, read distances.  The service instead
+// treats the machine as a long-running system: an open-loop workload
+// (src/server/workload.hpp) is registered as schedule_at timers, and the
+// event loop interleaves query arrivals with the tram/reduction/
+// termination traffic of every query already in flight.
+//
+// Lifecycle of one query:
+//
+//   arrival timer (front-end PE)
+//     ├─ result cache hit?  serve immediately (one lookup charge)
+//     └─ miss: join the FIFO admission queue
+//   admission (capacity below max_inflight frees up)
+//     ├─ result cached while waiting?  serve without an engine
+//     └─ construct a per-query AcicEngine at the current simulated time
+//   completion (the engine's termination broadcast reaches every PE)
+//     ├─ collect distances, fill the cache, record latency
+//     ├─ retire the engine in a separately scheduled task (engine code
+//     │  is still on the stack when on_complete fires)
+//     └─ admit the next waiting query
+//
+// Multi-tenancy rests on two properties of the lower layers: each engine
+// owns its tram instance and reduction tree (traffic is namespaced by
+// the closures it travels in, so interleaved queries cannot corrupt one
+// another), and engines register idle-time pq drains through
+// Machine::add_idle_handler, which polls the active queries' handlers
+// round-robin instead of letting the newest engine clobber the rest.
+//
+// The admission controller bounds concurrently running engines: each
+// engine costs every PE pq/histogram/reduction state and adds reduction
+// traffic, so unbounded admission degrades every in-flight query at
+// once (the bench sweeps this).  Excess queries wait in FIFO order —
+// deliberate backpressure that shows up as queue_wait_us in the metrics.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/acic.hpp"
+#include "src/graph/csr.hpp"
+#include "src/graph/partition.hpp"
+#include "src/runtime/machine.hpp"
+#include "src/server/cache.hpp"
+#include "src/server/metrics.hpp"
+#include "src/server/workload.hpp"
+
+namespace acic::server {
+
+struct ServiceConfig {
+  /// Per-query engine configuration (thresholds, tram, costs).
+  core::AcicConfig engine;
+  /// Admission bound: maximum concurrently running engines.
+  std::uint32_t max_inflight = 2;
+  /// Result-cache capacity in entries; 0 disables caching.
+  std::size_t cache_capacity = 8;
+  /// Front-end CPU charged per cache lookup.
+  runtime::SimTime cache_lookup_cost_us = 0.2;
+  /// PE that runs the front end (arrival handling, admission).
+  runtime::PeId frontend_pe = 0;
+  /// Retain every completed query's full distance vector, addressable by
+  /// query id (memory-heavy; for tests and validation harnesses).
+  bool keep_distances = false;
+};
+
+class QueryService {
+ public:
+  /// `csr` and `partition` are shared read-only by all queries and must
+  /// outlive the service; `partition` must match machine.num_pes().
+  QueryService(runtime::Machine& machine, const graph::Csr& csr,
+               const graph::Partition1D& partition, ServiceConfig config);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers an arrival timer per query.  May be called repeatedly
+  /// (arrival times must not precede the machine's current time); query
+  /// ids must be unique across all submissions.
+  void submit(const std::vector<QueryArrival>& arrivals);
+
+  /// Drives the machine until all traffic drains (every submitted query
+  /// complete) or the time limit strikes.  Completed engines are
+  /// reclaimed before returning.
+  runtime::RunStats run(runtime::SimTime time_limit_us =
+                            runtime::kNoTimeLimit);
+
+  std::uint64_t submitted_count() const { return submitted_; }
+  std::uint64_t completed_count() const;
+
+  /// Completion-order per-query records and queue-depth samples.
+  const std::vector<QueryRecord>& records() const;
+  const std::vector<QueueDepthSample>& queue_samples() const;
+  const DistanceCache& cache() const { return cache_; }
+  ServiceSummary summary() const;
+
+  /// Distances for a completed query (keep_distances only; nullptr if
+  /// unknown id or retention disabled).
+  const std::vector<graph::Dist>* distances_for(std::uint64_t id) const;
+
+ private:
+  struct Pending {
+    std::uint64_t id = 0;
+    graph::VertexId source = 0;
+    std::size_t record_index = 0;
+  };
+  struct InFlight {
+    std::uint64_t id = 0;
+    std::size_t record_index = 0;
+    std::unique_ptr<core::AcicEngine> engine;
+  };
+
+  void on_arrival(runtime::Pe& pe, std::size_t record_index);
+  void try_admit(runtime::Pe& pe);
+  void start_engine(runtime::Pe& pe, const Pending& pending);
+  void on_engine_complete(runtime::Pe& pe, std::uint64_t id);
+  void complete_record(runtime::Pe& pe, std::size_t record_index,
+                       bool cache_hit);
+  void sample_queue(runtime::SimTime time_us);
+  void schedule_retirement_sweep(runtime::Pe& pe);
+
+  runtime::Machine& machine_;
+  const graph::Csr& csr_;
+  const graph::Partition1D& partition_;
+  ServiceConfig config_;
+
+  DistanceCache cache_;
+  ServiceMetrics metrics_;
+
+  std::uint64_t submitted_ = 0;
+  /// Records indexed by submission order; copied into metrics_ (which
+  /// holds completion order) when the query finishes.
+  std::vector<QueryRecord> pending_records_;
+  std::vector<Pending> wait_queue_;  // FIFO admission queue (front = next)
+  std::vector<InFlight> running_;
+  /// Engines whose queries completed but whose final broadcast task may
+  /// still be on the stack; destroyed by a separately scheduled sweep.
+  std::vector<std::unique_ptr<core::AcicEngine>> retiring_;
+  bool sweep_scheduled_ = false;
+
+  std::map<std::uint64_t, std::vector<graph::Dist>> results_;
+};
+
+}  // namespace acic::server

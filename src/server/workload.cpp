@@ -1,0 +1,83 @@
+#include "src/server/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace acic::server {
+
+namespace {
+
+/// Seeded sample of `count` distinct vertices (rejection sampling; the
+/// universe is tiny relative to the graph so collisions are rare).
+std::vector<graph::VertexId> sample_universe(graph::VertexId num_vertices,
+                                             std::uint32_t count,
+                                             util::Xoshiro256& rng) {
+  std::vector<graph::VertexId> universe;
+  universe.reserve(count);
+  std::unordered_set<graph::VertexId> seen;
+  while (universe.size() < count) {
+    const auto v =
+        static_cast<graph::VertexId>(rng.next_below(num_vertices));
+    if (seen.insert(v).second) universe.push_back(v);
+  }
+  return universe;
+}
+
+/// Cumulative Zipf weights over ranks 1..n: cdf[r] = sum_{k<=r+1} k^-s.
+std::vector<double> zipf_cdf(std::size_t n, double s) {
+  std::vector<double> cdf(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -s);
+    cdf[r] = acc;
+  }
+  return cdf;
+}
+
+}  // namespace
+
+std::vector<QueryArrival> generate_workload(const WorkloadConfig& config,
+                                            graph::VertexId num_vertices) {
+  ACIC_ASSERT_MSG(num_vertices > 0, "workload needs a non-empty graph");
+  ACIC_ASSERT_MSG(config.qps > 0.0, "workload qps must be positive");
+  ACIC_ASSERT_MSG(config.zipf_exponent >= 0.0,
+                  "zipf exponent must be non-negative");
+
+  const std::uint32_t universe_size = std::max<std::uint32_t>(
+      1, std::min<std::uint32_t>(config.source_universe, num_vertices));
+
+  // Independent streams so e.g. widening the universe does not perturb
+  // the arrival-time sequence.
+  util::Xoshiro256 universe_rng(util::derive_seed(config.seed, 0));
+  util::Xoshiro256 arrival_rng(util::derive_seed(config.seed, 1));
+  util::Xoshiro256 source_rng(util::derive_seed(config.seed, 2));
+
+  const std::vector<graph::VertexId> universe =
+      sample_universe(num_vertices, universe_size, universe_rng);
+  const std::vector<double> cdf =
+      zipf_cdf(universe.size(), config.zipf_exponent);
+  const double total = cdf.back();
+
+  // Exponential inter-arrival gaps: -ln(1-u)/lambda, lambda in 1/us.
+  const double lambda_per_us = config.qps * 1e-6;
+
+  std::vector<QueryArrival> stream;
+  stream.reserve(config.num_queries);
+  runtime::SimTime t = config.start_us;
+  for (std::uint64_t q = 0; q < config.num_queries; ++q) {
+    t += -std::log(1.0 - arrival_rng.next_double()) / lambda_per_us;
+    const double u = source_rng.next_double() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const std::size_t rank = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cdf.begin(),
+                                 static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+    stream.push_back(QueryArrival{q, t, universe[rank]});
+  }
+  return stream;
+}
+
+}  // namespace acic::server

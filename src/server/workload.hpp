@@ -1,0 +1,56 @@
+#pragma once
+// Open-loop query workload generation for the serving layer.
+//
+// A real graph service does not answer one SSSP query per machine
+// lifetime; it faces a *stream* of source queries whose arrival times it
+// does not control (open-loop: arrivals keep coming whether or not the
+// service has caught up — this is what makes queueing visible, unlike a
+// closed loop that politely waits).  We model the stream the standard
+// way:
+//   * arrivals  — a Poisson process at a configured mean rate (QPS),
+//     i.e. exponential inter-arrival gaps;
+//   * sources   — Zipf-distributed popularity over a bounded universe of
+//     source vertices, so a hot head of repeat sources exists for the
+//     result cache to exploit while the tail stays cold.
+// Everything is deterministic in the seed: the same config produces the
+// same (id, arrival time, source) sequence on every run, which the
+// determinism regression tests rely on.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/types.hpp"
+#include "src/runtime/network.hpp"
+
+namespace acic::server {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 1;
+  /// Offered load, in queries per simulated second.
+  double qps = 2000.0;
+  /// Number of queries to generate.
+  std::uint64_t num_queries = 200;
+  /// Zipf popularity exponent s (rank r drawn with weight 1/r^s);
+  /// 0 degenerates to uniform over the universe.
+  double zipf_exponent = 0.9;
+  /// Number of distinct source vertices queries are drawn from (clamped
+  /// to the graph's vertex count).  The universe is a seeded sample of
+  /// the vertex set, so popular sources are spread across PE owners.
+  std::uint32_t source_universe = 64;
+  /// Simulated time of the first possible arrival.
+  runtime::SimTime start_us = 0.0;
+};
+
+/// One query in the stream: `id` is the position in arrival order.
+struct QueryArrival {
+  std::uint64_t id = 0;
+  runtime::SimTime arrival_us = 0.0;
+  graph::VertexId source = 0;
+};
+
+/// Generates the deterministic query stream for `config` over a graph of
+/// `num_vertices` vertices.  Arrival times are strictly non-decreasing.
+std::vector<QueryArrival> generate_workload(const WorkloadConfig& config,
+                                            graph::VertexId num_vertices);
+
+}  // namespace acic::server

@@ -186,6 +186,110 @@ TEST(Machine, TimeLimitStopsRun) {
   EXPECT_LE(stats.end_time_us, 1100.0);
 }
 
+TEST(Machine, HitTimeLimitFalseWhenQueueDrains) {
+  Machine machine(Topology::tiny(1));
+  machine.schedule_at(0.0, 0, [](Pe& pe) { pe.charge(10.0); });
+  const RunStats stats = machine.run();  // no limit
+  EXPECT_FALSE(stats.hit_time_limit);
+
+  // A generous explicit limit that is never reached must not trip.
+  machine.schedule_at(20.0, 0, [](Pe& pe) { pe.charge(1.0); });
+  const RunStats bounded = machine.run(1e9);
+  EXPECT_FALSE(bounded.hit_time_limit);
+}
+
+TEST(Machine, HitTimeLimitResumableAcrossRuns) {
+  Machine machine(Topology::tiny(1));
+  int executed = 0;
+  machine.schedule_at(0.0, 0, [&](Pe&) { ++executed; });
+  machine.schedule_at(500.0, 0, [&](Pe&) { ++executed; });
+
+  const RunStats first = machine.run(100.0);
+  EXPECT_TRUE(first.hit_time_limit);
+  EXPECT_EQ(executed, 1);  // the 500us event is still queued
+
+  const RunStats second = machine.run();
+  EXPECT_FALSE(second.hit_time_limit);
+  EXPECT_EQ(executed, 2);
+  EXPECT_GE(second.end_time_us, 500.0);
+}
+
+TEST(Machine, IdleHandlersMultiplexRoundRobin) {
+  // Two tenants on one PE: the machine must poll both (no clobbering)
+  // and rotate the starting handler so neither starves the other.
+  Machine machine(Topology::tiny(1));
+  std::vector<int> served;
+  int a_budget = 3;
+  int b_budget = 3;
+  machine.add_idle_handler(0, [&](Pe& pe) {
+    if (a_budget == 0) return false;
+    --a_budget;
+    served.push_back(0);
+    pe.charge(1.0);
+    return true;
+  });
+  machine.add_idle_handler(0, [&](Pe& pe) {
+    if (b_budget == 0) return false;
+    --b_budget;
+    served.push_back(1);
+    pe.charge(1.0);
+    return true;
+  });
+  machine.schedule_at(0.0, 0, [](Pe&) {});
+  machine.run();
+  ASSERT_EQ(served.size(), 6u);
+  // Strict alternation: after a handler does work, the next poll starts
+  // with the other one.
+  for (std::size_t i = 1; i < served.size(); ++i) {
+    EXPECT_NE(served[i], served[i - 1]) << "at poll " << i;
+  }
+}
+
+TEST(Machine, RemoveIdleHandlerStopsPolling) {
+  Machine machine(Topology::tiny(1));
+  int a_polls = 0;
+  int b_polls = 0;
+  const auto id_a = machine.add_idle_handler(0, [&](Pe&) {
+    ++a_polls;
+    return false;
+  });
+  machine.add_idle_handler(0, [&](Pe&) {
+    ++b_polls;
+    return false;
+  });
+  machine.schedule_at(0.0, 0, [](Pe&) {});
+  machine.run();
+  // Two polls: registration pokes the PE (one wake-up poll covers both
+  // adds), then the scheduled task drains and triggers a second poll.
+  EXPECT_EQ(a_polls, 2);
+  EXPECT_EQ(b_polls, 2);
+  EXPECT_EQ(machine.num_idle_handlers(0), 2u);
+
+  machine.remove_idle_handler(0, id_a);
+  EXPECT_EQ(machine.num_idle_handlers(0), 1u);
+  machine.schedule_at(1000.0, 0, [](Pe&) {});
+  machine.run();
+  EXPECT_EQ(a_polls, 2);  // removed handler is never polled again
+  EXPECT_EQ(b_polls, 3);
+}
+
+TEST(MachineDeath, SetIdleHandlerRefusesToClobber) {
+  // Silent replacement was exactly the multi-tenant hazard: engine B
+  // installing its pull loop would disconnect engine A's.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Machine machine(Topology::tiny(1));
+  machine.set_idle_handler(0, [](Pe&) { return false; });
+  EXPECT_DEATH(machine.set_idle_handler(0, [](Pe&) { return false; }),
+               "already registered");
+}
+
+TEST(TopologyDeath, RejectsZeroDimensions) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(Machine(Topology{0, 1, 1}), "nodes must be > 0");
+  EXPECT_DEATH(Machine(Topology{1, 0, 1}), "procs_per_node must be > 0");
+  EXPECT_DEATH(Machine(Topology{1, 1, 0}), "pes_per_proc must be > 0");
+}
+
 TEST(Machine, DeterministicAcrossRuns) {
   auto run_once = [] {
     Machine machine(Topology{1, 2, 2});

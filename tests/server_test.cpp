@@ -1,0 +1,311 @@
+// Tests for the serving layer (src/server/): workload generation, the
+// LRU distance cache, service metrics, and the QueryService itself —
+// concurrency, admission control, cached-answer correctness and the
+// bit-determinism regression the serving layer promises.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "src/baselines/sequential.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/partition.hpp"
+#include "src/runtime/machine.hpp"
+#include "src/server/cache.hpp"
+#include "src/server/metrics.hpp"
+#include "src/server/service.hpp"
+#include "src/server/workload.hpp"
+
+namespace {
+
+using acic::graph::Csr;
+using acic::graph::Dist;
+using acic::graph::Partition1D;
+using acic::runtime::Machine;
+using acic::runtime::Topology;
+using acic::server::DistanceCache;
+using acic::server::QueryArrival;
+using acic::server::QueryRecord;
+using acic::server::QueryService;
+using acic::server::ServiceConfig;
+using acic::server::WorkloadConfig;
+
+Csr test_graph(std::uint32_t scale = 8, std::uint64_t seed = 3) {
+  acic::graph::GenParams params;
+  params.num_vertices = acic::graph::VertexId{1} << scale;
+  params.num_edges = params.num_vertices * 8ull;
+  params.seed = seed;
+  return Csr::from_edge_list(acic::graph::generate_uniform_random(params));
+}
+
+// ---- workload ----------------------------------------------------------
+
+TEST(Workload, DeterministicAndMonotone) {
+  WorkloadConfig config;
+  config.seed = 42;
+  config.num_queries = 100;
+  const auto a = acic::server::generate_workload(config, 1000);
+  const auto b = acic::server::generate_workload(config, 1000);
+  ASSERT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_us, a[i - 1].arrival_us);
+    }
+    EXPECT_LT(a[i].source, 1000u);
+  }
+}
+
+TEST(Workload, RespectsSourceUniverse) {
+  WorkloadConfig config;
+  config.num_queries = 400;
+  config.source_universe = 5;
+  const auto stream = acic::server::generate_workload(config, 1u << 20);
+  std::set<acic::graph::VertexId> sources;
+  for (const QueryArrival& q : stream) sources.insert(q.source);
+  EXPECT_LE(sources.size(), 5u);
+  EXPECT_GE(sources.size(), 2u);  // Zipf 0.9 is skewed, not degenerate
+}
+
+TEST(Workload, ZipfHeadDominates) {
+  WorkloadConfig config;
+  config.num_queries = 2000;
+  config.source_universe = 50;
+  config.zipf_exponent = 1.2;
+  const auto stream = acic::server::generate_workload(config, 4096);
+  std::map<acic::graph::VertexId, int> counts;
+  for (const QueryArrival& q : stream) ++counts[q.source];
+  int top = 0;
+  for (const auto& [v, c] : counts) top = std::max(top, c);
+  // With s=1.2 over 50 sources the top rank carries well over 1/50th.
+  EXPECT_GT(top, static_cast<int>(config.num_queries) / 10);
+}
+
+TEST(Workload, MeanRateApproximatesQps) {
+  WorkloadConfig config;
+  config.num_queries = 5000;
+  config.qps = 1000.0;  // 1000 us mean gap
+  const auto stream = acic::server::generate_workload(config, 64);
+  const double span_us = stream.back().arrival_us;
+  const double mean_gap = span_us / static_cast<double>(stream.size());
+  EXPECT_GT(mean_gap, 900.0);
+  EXPECT_LT(mean_gap, 1100.0);
+}
+
+// ---- cache -------------------------------------------------------------
+
+TEST(DistanceCache, HitMissPromoteEvict) {
+  DistanceCache cache(2);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  cache.insert(1, {1.0});
+  cache.insert(2, {2.0});
+  ASSERT_NE(cache.lookup(1), nullptr);  // promotes 1 over 2
+  cache.insert(3, {3.0});               // evicts 2 (LRU)
+  EXPECT_EQ(cache.peek(2), nullptr);
+  ASSERT_NE(cache.peek(1), nullptr);
+  ASSERT_NE(cache.peek(3), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().insertions, 3u);
+  EXPECT_EQ((*cache.lookup(1))[0], 1.0);
+}
+
+TEST(DistanceCache, RefreshPromotesWithoutEviction) {
+  DistanceCache cache(2);
+  cache.insert(7, {7.0});
+  cache.insert(8, {8.0});
+  cache.insert(7, {7.5});  // refresh, no eviction
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ((*cache.peek(7))[0], 7.5);
+  cache.insert(9, {9.0});  // 8 is now LRU
+  EXPECT_EQ(cache.peek(8), nullptr);
+}
+
+TEST(DistanceCache, ZeroCapacityDisables) {
+  DistanceCache cache(0);
+  cache.insert(1, {1.0});
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+// ---- metrics -----------------------------------------------------------
+
+TEST(ServiceMetrics, SummaryAggregates) {
+  acic::server::ServiceMetrics metrics;
+  for (int i = 0; i < 10; ++i) {
+    QueryRecord r;
+    r.id = static_cast<std::uint64_t>(i);
+    r.arrival_us = 100.0 * i;
+    r.admit_us = r.arrival_us + 5.0;
+    r.complete_us = r.arrival_us + 5.0 + 10.0 * (i + 1);
+    r.cache_hit = (i % 2 == 0);
+    metrics.record(r);
+    metrics.sample_queue(r.arrival_us, static_cast<std::uint32_t>(i % 4),
+                         static_cast<std::uint32_t>(i % 3));
+  }
+  const auto s = metrics.summarize(acic::server::CacheStats{});
+  EXPECT_EQ(s.completed, 10u);
+  EXPECT_EQ(s.cache_hits, 5u);
+  EXPECT_DOUBLE_EQ(s.mean_queue_wait_us, 5.0);
+  EXPECT_NEAR(s.p50_latency_us, 60.0, 1.0);  // latencies 15..105
+  EXPECT_DOUBLE_EQ(s.max_latency_us, 105.0);
+  EXPECT_EQ(s.max_queue_depth, 3u);
+  EXPECT_EQ(s.max_concurrent, 2u);
+  EXPECT_GT(s.throughput_qps, 0.0);
+}
+
+// ---- service end-to-end ------------------------------------------------
+
+struct ServiceRun {
+  std::vector<QueryRecord> records;
+  acic::server::ServiceSummary summary;
+  std::map<std::uint64_t, std::vector<Dist>> distances;
+  std::uint64_t submitted = 0;
+};
+
+ServiceRun run_service(const Csr& csr, const WorkloadConfig& wl,
+                       std::uint32_t max_inflight, std::size_t cache_cap) {
+  Machine machine(Topology{1, 2, 2});
+  const Partition1D partition =
+      Partition1D::block(csr.num_vertices(), machine.num_pes());
+  ServiceConfig config;
+  config.max_inflight = max_inflight;
+  config.cache_capacity = cache_cap;
+  config.keep_distances = true;
+  QueryService service(machine, csr, partition, config);
+  service.submit(acic::server::generate_workload(wl, csr.num_vertices()));
+  service.run();
+
+  ServiceRun out;
+  out.records = service.records();
+  out.summary = service.summary();
+  out.submitted = service.submitted_count();
+  for (const QueryRecord& r : out.records) {
+    const auto* d = service.distances_for(r.id);
+    if (d != nullptr) out.distances[r.id] = *d;
+  }
+  return out;
+}
+
+WorkloadConfig small_workload() {
+  WorkloadConfig wl;
+  wl.seed = 11;
+  wl.num_queries = 40;
+  wl.qps = 2000.0;
+  wl.source_universe = 8;
+  return wl;
+}
+
+TEST(QueryService, CompletesEveryQueryWithCorrectDistances) {
+  const Csr csr = test_graph();
+  const ServiceRun run = run_service(csr, small_workload(), 2, 4);
+  ASSERT_EQ(run.records.size(), run.submitted);
+
+  // Every answer — engine-run or cached — must equal Dijkstra.
+  std::map<acic::graph::VertexId, std::vector<Dist>> truth;
+  for (const QueryRecord& r : run.records) {
+    ASSERT_TRUE(run.distances.count(r.id)) << "query " << r.id;
+    auto it = truth.find(r.source);
+    if (it == truth.end()) {
+      it = truth.emplace(r.source,
+                         acic::baselines::dijkstra(csr, r.source)).first;
+    }
+    EXPECT_EQ(run.distances.at(r.id), it->second)
+        << "query " << r.id << " source " << r.source
+        << (r.cache_hit ? " (cached)" : " (engine)");
+  }
+}
+
+TEST(QueryService, QueriesOverlapAndAdmissionBoundHolds) {
+  const Csr csr = test_graph();
+  const ServiceRun run = run_service(csr, small_workload(), 2, 0);
+  EXPECT_GE(run.summary.max_concurrent, 2u);  // multi-tenancy is real
+  EXPECT_LE(run.summary.max_concurrent, 2u);  // and bounded
+
+  // Overlap double-check from the records themselves: two engine-served
+  // queries whose [admit, complete] intervals intersect.
+  bool overlap = false;
+  for (std::size_t i = 0; i < run.records.size() && !overlap; ++i) {
+    for (std::size_t j = i + 1; j < run.records.size(); ++j) {
+      const QueryRecord& a = run.records[i];
+      const QueryRecord& b = run.records[j];
+      if (a.cache_hit || b.cache_hit) continue;
+      if (a.admit_us < b.complete_us && b.admit_us < a.complete_us) {
+        overlap = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(overlap);
+}
+
+TEST(QueryService, AdmissionIsFifo) {
+  const Csr csr = test_graph();
+  const ServiceRun run = run_service(csr, small_workload(), 1, 0);
+  EXPECT_EQ(run.summary.max_concurrent, 1u);
+  // With one engine slot and no cache, queries are admitted strictly in
+  // arrival (id) order: admit times sorted by id must be non-decreasing.
+  std::vector<const QueryRecord*> by_id(run.records.size());
+  for (const QueryRecord& r : run.records) {
+    ASSERT_LT(r.id, by_id.size());
+    by_id[r.id] = &r;
+  }
+  for (std::size_t i = 1; i < by_id.size(); ++i) {
+    EXPECT_GE(by_id[i]->admit_us, by_id[i - 1]->admit_us);
+  }
+}
+
+TEST(QueryService, CachedAnswerIdenticalToFreshEngineRun) {
+  const Csr csr = test_graph();
+  const ServiceRun run = run_service(csr, small_workload(), 2, 8);
+  ASSERT_GT(run.summary.cache_hits, 0u);
+
+  for (const QueryRecord& r : run.records) {
+    if (!r.cache_hit) continue;
+    Machine fresh(Topology{1, 2, 2});
+    const auto expected = acic::core::acic_sssp(
+        fresh, csr,
+        Partition1D::block(csr.num_vertices(), fresh.num_pes()), r.source,
+        acic::core::AcicConfig{});
+    EXPECT_EQ(run.distances.at(r.id), expected.sssp.dist)
+        << "cached source " << r.source;
+    break;  // one engine cross-check keeps the test fast
+  }
+}
+
+// The serving determinism regression (stacked-PR contract): same seed +
+// same workload config => byte-identical latency sequence across two
+// QueryService runs on fresh machines.
+TEST(QueryService, DeterministicLatencySequence) {
+  const Csr csr = test_graph();
+  const ServiceRun a = run_service(csr, small_workload(), 2, 4);
+  const ServiceRun b = run_service(csr, small_workload(), 2, 4);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].id, b.records[i].id);
+    const double la = a.records[i].latency_us();
+    const double lb = b.records[i].latency_us();
+    EXPECT_EQ(std::memcmp(&la, &lb, sizeof(double)), 0)
+        << "latency diverged at completion " << i;
+  }
+}
+
+TEST(QueryService, QueueDepthSamplesTrackBackpressure) {
+  const Csr csr = test_graph();
+  WorkloadConfig wl = small_workload();
+  wl.qps = 50000.0;  // a burst: everything arrives nearly at once
+  const ServiceRun run = run_service(csr, wl, 1, 0);
+  EXPECT_GT(run.summary.max_queue_depth, 10u);
+  EXPECT_GT(run.summary.mean_queue_wait_us, 0.0);
+  // Tail percentiles must dominate the median under queueing.
+  EXPECT_GE(run.summary.p99_latency_us, run.summary.p50_latency_us);
+}
+
+}  // namespace

@@ -84,6 +84,55 @@ TEST(Tracer, SpanCrossingBinBoundarySplits) {
   EXPECT_DOUBLE_EQ(util[0][1], 0.5);
 }
 
+TEST(Tracer, WriteCsvRoundTrip) {
+  // Record a trace from a real (tiny) run, dump it, and parse it back:
+  // header + one row per span, each row matching `pe,start,end,kind`
+  // with the original values.
+  Machine machine(Topology::tiny(2));
+  Tracer tracer;
+  acic::runtime::attach_tracer(machine, tracer);
+  machine.schedule_at(0.0, 0, [](Pe& pe) { pe.charge(5.0); });
+  machine.schedule_at(2.0, 1, [](Pe& pe) { pe.charge(1.5); });
+  machine.run();
+  ASSERT_EQ(tracer.spans().size(), 2u);
+
+  const std::string path = ::testing::TempDir() + "/acic_roundtrip.csv";
+  ASSERT_TRUE(tracer.write_csv(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_STREQ(line, "pe,start_us,end_us,kind\n");
+  std::size_t rows = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned pe = 0;
+    double start = -1.0;
+    double end = -1.0;
+    char kind[16] = {0};
+    ASSERT_EQ(std::sscanf(line, "%u,%lf,%lf,%15s", &pe, &start, &end,
+                          kind),
+              4)
+        << "malformed row: " << line;
+    const acic::runtime::TraceSpan& span = tracer.spans()[rows];
+    EXPECT_EQ(pe, span.pe);
+    EXPECT_NEAR(start, span.start_us, 1e-3);  // %.3f precision
+    EXPECT_NEAR(end, span.end_us, 1e-3);
+    EXPECT_STREQ(kind,
+                 span.kind == SpanKind::kTask ? "task" : "idle");
+    ++rows;
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(rows, tracer.spans().size());
+}
+
+TEST(Tracer, WriteCsvFailsOnBadPath) {
+  Tracer tracer;
+  tracer.record(0, 0.0, 1.0, SpanKind::kTask);
+  EXPECT_FALSE(tracer.write_csv("/nonexistent-dir/trace.csv"));
+}
+
 TEST(Tracer, CsvAndArtOutputs) {
   Tracer tracer;
   tracer.record(0, 0.0, 1.0, SpanKind::kTask);
