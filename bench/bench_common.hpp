@@ -6,6 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/export.hpp"
+#include "src/obs/registry.hpp"
+#include "src/runtime/trace.hpp"
 #include "src/stats/compare.hpp"
 #include "src/stats/experiment.hpp"
 #include "src/util/options.hpp"
@@ -69,6 +72,34 @@ inline void write_csv(const util::Table& table, const util::Options& opts,
   const std::string path = opts.get("csv", default_name);
   if (table.write_csv(path)) {
     std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+/// Shared `--trace-json PATH` / `--obs-csv PATH` handling: exports the
+/// attached tracer/registry as a Perfetto-loadable Chrome trace and as
+/// counter time-series CSV.  Either pointer may be null; flags that were
+/// not given are ignored.  If the tracer overflowed its capacity bound,
+/// says so (the exported window covers only the most recent spans).
+inline void export_observability(const util::Options& opts,
+                                 const runtime::Topology& topology,
+                                 const runtime::Tracer* tracer,
+                                 const obs::Registry* registry) {
+  const std::string trace_path = opts.get("trace-json", "");
+  if (!trace_path.empty() &&
+      obs::write_chrome_trace(trace_path, topology, tracer, registry)) {
+    std::printf("wrote %s (open in https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  const std::string series_path = opts.get("obs-csv", "");
+  if (!series_path.empty() && registry != nullptr &&
+      obs::write_timeseries_csv(series_path, *registry)) {
+    std::printf("wrote %s\n", series_path.c_str());
+  }
+  if (tracer != nullptr && tracer->overflowed()) {
+    std::printf("note: tracer dropped %llu oldest spans (capacity %zu); "
+                "exports cover the most recent window\n",
+                static_cast<unsigned long long>(tracer->dropped_spans()),
+                tracer->capacity());
   }
 }
 

@@ -38,7 +38,7 @@ WorkResult run_window(std::uint32_t nodes, SimTime window_us,
   std::uint64_t methods = 0;
 
   for (PeId p = 0; p < machine.num_pes(); ++p) {
-    machine.set_idle_handler(p, [&methods, method_us](Pe& pe) {
+    machine.add_idle_handler(p, [&methods, method_us](Pe& pe) {
       pe.charge(method_us);
       ++methods;
       return true;

@@ -11,6 +11,13 @@
 //
 //   ./bench/server_load [--scale N] [--queries Q] [--inflight K]
 //                       [--qps a,b,c] [--caches a,b,c] [--csv PATH]
+//                       [--trace-json PATH] [--obs-csv PATH]
+//
+// With --trace-json / --obs-csv the *last* sweep configuration runs
+// with a capacity-bounded tracer and an observability registry attached
+// and exports them — a long serving run records unboundedly many spans,
+// so the tracer keeps a sliding window of the most recent ones
+// (Tracer::set_capacity) and reports what it dropped.
 
 #include <cstdio>
 
@@ -53,15 +60,33 @@ int main(int argc, char** argv) {
                      "p95_us", "p99_us", "mean_wait_us", "max_depth",
                      "hit_rate"});
 
-  for (const std::uint32_t cache_cap : cache_list) {
-    for (const std::uint32_t qps : qps_list) {
-      runtime::Machine machine(runtime::Topology{2, 2, 2});
+  const bool want_obs = opts.has("trace-json") || opts.has("obs-csv");
+  const runtime::Topology topo{2, 2, 2};
+
+  for (std::size_t ci = 0; ci < cache_list.size(); ++ci) {
+    for (std::size_t qi = 0; qi < qps_list.size(); ++qi) {
+      const std::uint32_t cache_cap = cache_list[ci];
+      const std::uint32_t qps = qps_list[qi];
+      // Observe the last configuration of the sweep (the most loaded).
+      const bool observed = want_obs && ci + 1 == cache_list.size() &&
+                            qi + 1 == qps_list.size();
+      runtime::Tracer tracer;
+      tracer.set_capacity(
+          static_cast<std::size_t>(opts.get_int("trace-spans", 20000)));
+      obs::Registry registry(topo);
+
+      runtime::Machine machine(topo);
       const graph::Partition1D partition = graph::Partition1D::block(
           csr.num_vertices(), machine.num_pes());
 
       server::ServiceConfig config;
       config.max_inflight = inflight;
       config.cache_capacity = cache_cap;
+      if (observed) {
+        config.registry = &registry;
+        config.tracer = &tracer;
+        runtime::attach_tracer(machine, tracer);
+      }
       server::QueryService service(machine, csr, partition, config);
 
       server::WorkloadConfig wl;
@@ -82,6 +107,9 @@ int main(int argc, char** argv) {
                      util::strformat("%.1f", s.mean_queue_wait_us),
                      util::strformat("%u", s.max_queue_depth),
                      util::strformat("%.3f", s.cache_hit_rate)});
+      if (observed) {
+        bench::export_observability(opts, topo, &tracer, &registry);
+      }
     }
   }
 

@@ -1,12 +1,14 @@
-// Interactive comparison driver: run any of the six SSSP implementations
-// on any of the four workloads at any scale/machine size, with result
-// validation against Dijkstra.
+// Interactive comparison driver: run any SSSP solver registered with
+// sssp::run_solver on any of the four workloads at any scale/machine
+// size, with result validation against Dijkstra.
 //
 //   ./examples/compare_algorithms --graph rmat --scale 14 --nodes 8
-//   ./examples/compare_algorithms --algo acic,riken-delta --graph road
+//   ./examples/compare_algorithms --solver acic,delta_stepping_2d
 //
-// Options: --graph random|rmat|road|erdos-renyi, --algo <csv of names |
-// all>, --scale N, --nodes M, --seed S, --validate 0|1, --full-nodes.
+// Options: --graph random|rmat|road|erdos-renyi, --solver <csv of
+// registry names | all>, --scale N, --nodes M, --seed S, --validate 0|1,
+// --full-nodes.  `--solver all` runs every registered parallel solver;
+// sssp::solver_names() is the authoritative list.
 
 #include <cstdio>
 #include <string>
@@ -14,6 +16,7 @@
 
 #include "src/baselines/sequential.hpp"
 #include "src/graph/validate.hpp"
+#include "src/sssp/solver.hpp"
 #include "src/stats/experiment.hpp"
 #include "src/util/options.hpp"
 #include "src/util/table.hpp"
@@ -48,15 +51,26 @@ int main(int argc, char** argv) {
   spec.full_scale_nodes = opts.get_bool("full-nodes", false);
   const bool validate = opts.get_bool("validate", true);
 
-  std::vector<stats::Algo> algos;
-  const std::string algo_opt = opts.get("algo", "all");
-  if (algo_opt == "all") {
-    algos = {stats::Algo::kAcic,        stats::Algo::kRiken,
-             stats::Algo::kDelta1D,     stats::Algo::kKla,
-             stats::Algo::kDistControl, stats::Algo::kAsyncBaseline};
+  std::vector<std::string> solvers;
+  const std::string solver_opt =
+      opts.get("solver", opts.get("algo", "all"));
+  if (solver_opt == "all") {
+    // Every registered solver except the sequential reference (which is
+    // the validation oracle, not a comparison point).
+    for (const std::string& name : sssp::solver_names()) {
+      if (name != "sequential") solvers.push_back(name);
+    }
   } else {
-    for (const std::string& name : split_csv(algo_opt)) {
-      algos.push_back(stats::algo_from_string(name));
+    for (const std::string& name : split_csv(solver_opt)) {
+      if (!sssp::has_solver(name)) {
+        std::printf("unknown solver '%s'; registered:", name.c_str());
+        for (const std::string& known : sssp::solver_names()) {
+          std::printf(" %s", known.c_str());
+        }
+        std::printf("\n");
+        return 1;
+      }
+      solvers.push_back(name);
     }
   }
 
@@ -70,30 +84,31 @@ int main(int argc, char** argv) {
   std::vector<graph::Dist> expected;
   if (validate) expected = baselines::dijkstra(csr, spec.source);
 
-  util::Table table({"algorithm", "time_ms", "teps", "updates",
+  util::Table table({"solver", "time_ms", "teps", "updates",
                      "wasted_pct", "msgs", "imbalance", "valid"});
-  for (const stats::Algo algo : algos) {
-    const auto run = stats::run_algorithm(algo, csr, spec);
+  for (const std::string& name : solvers) {
+    runtime::Machine machine(spec.topology());
+    const auto run =
+        sssp::run_solver(name, machine, csr, spec.source, {});
     std::string valid = "-";
     if (validate) {
       const auto cmp = graph::compare_distances(run.sssp.dist, expected);
       valid = cmp.ok ? "yes" : "NO";
       if (!cmp.ok) {
-        std::printf("  %s validation error: %s\n",
-                    stats::algo_name(algo), cmp.error.c_str());
+        std::printf("  %s validation error: %s\n", name.c_str(),
+                    cmp.error.c_str());
       }
     }
     const auto& m = run.sssp.metrics;
     table.add_row(
-        {stats::algo_name(algo),
-         util::strformat("%.3f", m.sim_time_us / 1000.0),
+        {name, util::strformat("%.3f", m.sim_time_us / 1000.0),
          util::strformat("%.3g", m.teps()),
          util::strformat("%llu",
                          static_cast<unsigned long long>(m.updates_created)),
          util::strformat("%.1f%%", 100.0 * m.wasted_fraction()),
          util::strformat("%llu",
                          static_cast<unsigned long long>(m.network_messages)),
-         util::strformat("%.2f", run.busy_imbalance), valid});
+         util::strformat("%.2f", run.telemetry.busy_imbalance), valid});
   }
   table.print();
   return 0;

@@ -1,20 +1,24 @@
 // Timeline analysis: the paper's asynchrony argument, drawn.
 //
 // Runs ACIC and the RIKEN-style Δ-stepping baseline on the same workload
-// with the execution tracer attached (the simulator's analogue of
-// Charm++'s Projections tool), then prints per-PE utilization heat maps.
-// Δ-stepping shows vertical idle stripes at every barrier; ACIC shows
-// solid utilization with a gradually thinning tail.  The per-run trace
-// CSVs are written for external plotting.
+// with the execution tracer and the observability registry attached
+// (the simulator's analogue of Charm++'s Projections tool), then prints
+// per-PE utilization heat maps.  Δ-stepping shows vertical idle stripes
+// at every barrier; ACIC shows solid utilization with a gradually
+// thinning tail.  Each run is exported twice: the trace CSV for external
+// plotting, and a Chrome trace-event JSON (timeline_acic.json /
+// timeline_delta.json) that https://ui.perfetto.dev loads directly —
+// task spans per PE plus counter tracks for every message-locality tier
+// and, for ACIC, the per-reduction-cycle thresholds.
 //
 //   ./examples/timeline_analysis [--scale N] [--graph random|rmat|road]
 
 #include <cstdio>
 
-#include "src/graph/partition2d.hpp"
-#include "src/baselines/delta_stepping_2d.hpp"
-#include "src/core/acic.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/registry.hpp"
 #include "src/runtime/trace.hpp"
+#include "src/sssp/solver.hpp"
 #include "src/stats/experiment.hpp"
 #include "src/util/options.hpp"
 
@@ -37,48 +41,69 @@ int main(int argc, char** argv) {
               "80-100%% busy, one column per time bin\n\n");
 
   // --- ACIC ---------------------------------------------------------------
-  runtime::Tracer acic_tracer;
   {
+    runtime::Tracer tracer;
+    obs::Registry registry(topo);
     runtime::Machine machine(topo);
-    acic::runtime::attach_tracer(machine, acic_tracer);
-    const auto partition =
-        graph::Partition1D::block(csr.num_vertices(), machine.num_pes());
+    runtime::attach_tracer(machine, tracer);
+
+    sssp::SolverOptions solver_opts;
+    solver_opts.registry = &registry;
     const auto run =
-        core::acic_sssp(machine, csr, partition, spec.source, {});
+        sssp::run_solver("acic", machine, csr, spec.source, solver_opts);
     std::printf("ACIC (asynchronous, %llu reduction cycles, %.3f ms):\n",
-                static_cast<unsigned long long>(run.reduction_cycles),
+                static_cast<unsigned long long>(run.telemetry.cycles),
                 run.sssp.metrics.sim_time_us / 1000.0);
     std::printf("%s\n",
-                acic_tracer
+                tracer
                     .utilization_art(machine.num_pes(),
                                      run.sssp.metrics.sim_time_us, 64)
                     .c_str());
-    acic_tracer.write_csv("timeline_acic.csv");
+    tracer.write_csv("timeline_acic.csv");
+    obs::write_chrome_trace("timeline_acic.json", topo, &tracer,
+                            &registry);
+    std::printf("registry totals: %llu msgs intra-process, %llu "
+                "intra-node, %llu inter-node; %llu tram inserts; %zu "
+                "threshold records\n\n",
+                static_cast<unsigned long long>(
+                    registry.total("net/messages_intra_process")),
+                static_cast<unsigned long long>(
+                    registry.total("net/messages_intra_node")),
+                static_cast<unsigned long long>(
+                    registry.total("net/messages_inter_node")),
+                static_cast<unsigned long long>(
+                    registry.total("tram/items_inserted")),
+                registry.find_series("acic/t_tram")->points.size());
   }
 
   // --- RIKEN-style Δ-stepping ----------------------------------------------
-  runtime::Tracer delta_tracer;
   {
+    runtime::Tracer tracer;
+    obs::Registry registry(topo);
     runtime::Machine machine(topo);
-    acic::runtime::attach_tracer(machine, delta_tracer);
-    const auto partition =
-        graph::Partition2D::squarest(csr, machine.num_pes());
-    const auto run = baselines::delta_stepping_2d(machine, csr, partition,
-                                                  spec.source, {});
+    runtime::attach_tracer(machine, tracer);
+
+    sssp::SolverOptions solver_opts;
+    solver_opts.registry = &registry;
+    const auto run = sssp::run_solver("delta_stepping_2d", machine, csr,
+                                      spec.source, solver_opts);
     std::printf("Delta-stepping (bulk-synchronous, %llu barrier rounds, "
                 "%.3f ms):\n",
-                static_cast<unsigned long long>(run.barrier_rounds),
+                static_cast<unsigned long long>(run.telemetry.cycles),
                 run.sssp.metrics.sim_time_us / 1000.0);
     std::printf("%s\n",
-                delta_tracer
+                tracer
                     .utilization_art(machine.num_pes(),
                                      run.sssp.metrics.sim_time_us, 64)
                     .c_str());
-    delta_tracer.write_csv("timeline_delta.csv");
+    tracer.write_csv("timeline_delta.csv");
+    obs::write_chrome_trace("timeline_delta.json", topo, &tracer,
+                            &registry);
   }
 
-  std::printf("wrote timeline_acic.csv and timeline_delta.csv "
-              "(pe,start_us,end_us,kind)\n");
+  std::printf("wrote timeline_{acic,delta}.csv (pe,start_us,end_us,kind) "
+              "and timeline_{acic,delta}.json (Chrome trace events; open "
+              "in https://ui.perfetto.dev)\n");
   std::printf("the stripes of '.' columns in the delta-stepping map are "
               "barrier waits; the thinning right edge of the ACIC map is "
               "the low-concurrency tail the paper describes\n");

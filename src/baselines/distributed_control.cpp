@@ -69,8 +69,10 @@ class DcEngine {
 
     if (config_.use_priority) {
       for (PeId p = 0; p < machine_.num_pes(); ++p) {
-        machine_.set_idle_handler(
-            p, [this](Pe& pe) { return drain_pq(pe); });
+        // add (not set): leaves the PE's idle dispatch shareable with
+        // other tenants of the machine.
+        idle_handler_ids_.push_back(machine_.add_idle_handler(
+            p, [this](Pe& pe) { return drain_pq(pe); }));
       }
     }
 
@@ -78,6 +80,13 @@ class DcEngine {
       create_update(pe, source_, 0.0);
     });
     detector_->start();
+  }
+
+  ~DcEngine() {
+    for (std::size_t i = 0; i < idle_handler_ids_.size(); ++i) {
+      machine_.remove_idle_handler(static_cast<PeId>(i),
+                                   idle_handler_ids_[i]);
+    }
   }
 
   DistributedControlRunResult run(runtime::SimTime time_limit_us) {
@@ -173,6 +182,7 @@ class DcEngine {
   DistributedControlConfig config_;
 
   std::vector<PeState> pes_;
+  std::vector<runtime::IdleHandlerId> idle_handler_ids_;
   std::unique_ptr<tram::Tram<Update>> tram_;
   std::unique_ptr<runtime::TerminationDetector> detector_;
 };

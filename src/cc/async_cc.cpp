@@ -87,11 +87,19 @@ class AsyncCcEngine {
     build_reducer();
 
     for (PeId p = 0; p < machine_.num_pes(); ++p) {
-      machine_.set_idle_handler(
-          p, [this](Pe& pe) { return drain_pq(pe); });
+      // add (not set): leaves the PE's idle dispatch shareable with
+      // other tenants of the machine.
+      idle_handler_ids_.push_back(machine_.add_idle_handler(
+          p, [this](Pe& pe) { return drain_pq(pe); }));
       // Seed: every vertex announces its own id to its neighbors once.
       machine_.schedule_at(0.0, p, [this](Pe& pe) { seed(pe); });
       machine_.schedule_at(0.0, p, [this](Pe& pe) { contribute(pe); });
+    }
+  }
+
+  ~AsyncCcEngine() {
+    for (PeId p = 0; p < machine_.num_pes(); ++p) {
+      machine_.remove_idle_handler(p, idle_handler_ids_[p]);
     }
   }
 
@@ -270,6 +278,7 @@ class AsyncCcEngine {
   double bucket_width_;
 
   std::vector<PeState> pes_;
+  std::vector<runtime::IdleHandlerId> idle_handler_ids_;
   std::unique_ptr<tram::Tram<LabelUpdate>> tram_;
   std::unique_ptr<runtime::Reducer> reducer_;
 

@@ -103,6 +103,23 @@ class AcicEngine::Impl {
       state.t_pq = config_.num_buckets - 1;
     }
 
+    if (config_.registry != nullptr) {
+      obs::Registry& reg = *config_.registry;
+      obs_t_tram_ = reg.series("acic/t_tram");
+      obs_t_pq_ = reg.series("acic/t_pq");
+      obs_active_updates_ = reg.series("acic/active_updates");
+      obs_histogram_ = reg.histogram_series("acic/update_histogram");
+      obs_held_tram_ = reg.counter("acic/updates_held_tram");
+      obs_released_tram_ = reg.counter("acic/updates_released_tram");
+      obs_held_pq_ = reg.counter("acic/updates_held_pq");
+      obs_released_pq_ = reg.counter("acic/updates_released_pq");
+      // The engine's tram reports to the same registry unless the caller
+      // already pointed it elsewhere.
+      if (config_.tram.registry == nullptr) {
+        config_.tram.registry = config_.registry;
+      }
+    }
+
     tram_ = std::make_unique<tram::Tram<Update>>(
         machine_, config_.tram,
         [this](Pe& pe, const Update& u) { on_deliver(pe, u); });
@@ -190,6 +207,9 @@ class AcicEngine::Impl {
     } else {
       ++state.held_in_tram;
       state.tram_hold.put(bucket, Update{target, d});
+      if (config_.registry != nullptr) {
+        config_.registry->add(obs_held_tram_, pe.id(), 1, pe.now());
+      }
     }
   }
 
@@ -230,6 +250,9 @@ class AcicEngine::Impl {
     } else {
       ++state.held_in_pq_hold;
       state.pq_hold.put(bucket, u);
+      if (config_.registry != nullptr) {
+        config_.registry->add(obs_held_pq_, pe.id(), 1, pe.now());
+      }
     }
   }
 
@@ -477,6 +500,17 @@ class AcicEngine::Impl {
       snapshots_.push_back(std::move(snap));
     }
 
+    // Per-cycle introspection stream: the chosen thresholds, the global
+    // active-update count, and the full distance histogram, stamped at
+    // the root's current time.
+    if (config_.registry != nullptr) {
+      obs::Registry& reg = *config_.registry;
+      reg.append(obs_t_tram_, pe.now(), static_cast<double>(t.t_tram));
+      reg.append(obs_t_pq_, pe.now(), static_cast<double>(t.t_pq));
+      reg.append(obs_active_updates_, pe.now(), created - processed);
+      reg.append_histogram(obs_histogram_, cycle, pe.now(), histogram);
+    }
+
     std::size_t lowest_active = config_.num_buckets;
     for (std::size_t b = 0; b < histogram.size(); ++b) {
       if (histogram[b] > 0.0) {
@@ -531,12 +565,20 @@ class AcicEngine::Impl {
 
     release_buffer_.clear();
     state.tram_hold.release_up_to(state.t_tram, &release_buffer_);
+    if (config_.registry != nullptr && !release_buffer_.empty()) {
+      config_.registry->add(obs_released_tram_, pe.id(),
+                            release_buffer_.size(), pe.now());
+    }
     for (const Update& u : release_buffer_) {
       tram_->insert(pe, partition_.owner(u.vertex), u);
     }
 
     release_buffer_.clear();
     state.pq_hold.release_up_to(state.t_pq, &release_buffer_);
+    if (config_.registry != nullptr && !release_buffer_.empty()) {
+      config_.registry->add(obs_released_pq_, pe.id(),
+                            release_buffer_.size(), pe.now());
+    }
     for (const Update& u : release_buffer_) {
       pe.charge(config_.costs.pq_op_us);
       state.pq.push(u);
@@ -570,6 +612,16 @@ class AcicEngine::Impl {
 
   std::vector<HistogramSnapshot> snapshots_;
   std::vector<Update> release_buffer_;
+
+  // Registry handles; valid iff config_.registry != nullptr.
+  obs::SeriesId obs_t_tram_;
+  obs::SeriesId obs_t_pq_;
+  obs::SeriesId obs_active_updates_;
+  obs::HistogramSeriesId obs_histogram_;
+  obs::CounterId obs_held_tram_;
+  obs::CounterId obs_released_tram_;
+  obs::CounterId obs_held_pq_;
+  obs::CounterId obs_released_pq_;
   /// Shared per-process work-stealing queues (shared-memory structures;
   /// pushes/pops charge an atomic-operation cost).
   std::vector<std::deque<StealChunk>> steal_queues_;

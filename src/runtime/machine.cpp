@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/registry.hpp"
 #include "src/util/assert.hpp"
 
 namespace acic::runtime {
@@ -34,6 +35,18 @@ Machine::Machine(Topology topology, NetworkModel network)
   }
 }
 
+Machine::~Machine() = default;
+
+void Machine::set_registry(obs::Registry* registry) {
+  registry_ = registry;
+  if (registry_ == nullptr) {
+    obs_.reset();
+    return;
+  }
+  obs_ = std::make_unique<obs::RuntimeCounters>(
+      obs::define_runtime_counters(*registry_));
+}
+
 void Machine::send(PeId from, PeId to, std::size_t bytes, Task task) {
   ACIC_ASSERT(from < num_entities() && to < num_entities());
   Pe& sender = pes_[from];
@@ -51,6 +64,10 @@ void Machine::send(PeId from, PeId to, std::size_t bytes, Task task) {
   if (active_stats_ != nullptr) {
     ++active_stats_->messages_sent;
     active_stats_->bytes_sent += bytes;
+  }
+  if (registry_ != nullptr) {
+    registry_->add(obs_->messages(loc), from, 1, departure);
+    registry_->add(obs_->bytes(loc), from, bytes, departure);
   }
 
   // The receiver pays its per-message overhead when it picks the task up.
@@ -132,6 +149,11 @@ void Machine::ensure_exec_scheduled(Pe& pe, SimTime earliest) {
 void Machine::handle_arrival(Event& event) {
   Pe& pe = pes_[event.pe];
   pe.fifo_.push_back(std::move(event.task));
+  ++ready_tasks_;
+  if (registry_ != nullptr) {
+    registry_->append(obs_->ready_tasks, event.time,
+                      static_cast<double>(ready_tasks_));
+  }
   ensure_exec_scheduled(pe, event.time);
 }
 
@@ -144,7 +166,13 @@ void Machine::handle_exec(const Event& event) {
     Task task = std::move(pe.fifo_.front());
     pe.fifo_.pop_front();
     ++pe.tasks_run_;
+    --ready_tasks_;
     if (active_stats_ != nullptr) ++active_stats_->tasks_executed;
+    if (registry_ != nullptr) {
+      registry_->add(obs_->tasks_executed, pe.id_, 1, pe.current_time_);
+      registry_->append(obs_->ready_tasks, pe.current_time_,
+                        static_cast<double>(ready_tasks_));
+    }
     const SimTime span_start = pe.current_time_;
     task(pe);
     if (span_hook_) {
@@ -167,6 +195,9 @@ void Machine::handle_exec(const Event& event) {
     const SimTime span_start = pe.current_time_;
     pe.charge(idle_poll_cost_us_);
     if (active_stats_ != nullptr) ++active_stats_->idle_polls;
+    if (registry_ != nullptr) {
+      registry_->add(obs_->idle_polls, pe.id_, 1, pe.current_time_);
+    }
     bool did_work = false;
     pe.idle_polling_ = true;
     const std::size_t n = pe.idle_handlers_.size();

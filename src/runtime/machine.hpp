@@ -31,11 +31,17 @@
 #include <deque>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "src/runtime/network.hpp"
 #include "src/runtime/topology.hpp"
+
+namespace acic::obs {
+class Registry;
+struct RuntimeCounters;
+}  // namespace acic::obs
 
 namespace acic::runtime {
 
@@ -120,6 +126,7 @@ class Pe {
 class Machine {
  public:
   Machine(Topology topology, NetworkModel network = {});
+  ~Machine();  // out-of-line: obs::RuntimeCounters is incomplete here
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -140,10 +147,13 @@ class Machine {
   /// initial work injection and timers).
   void schedule_at(SimTime time, PeId pe, Task task);
 
-  /// Installs the *sole* idle handler for `pe`.  Asserts if any handler
-  /// is already registered: a second engine silently clobbering the
-  /// first's pull loop was exactly the bug that made multi-tenant runs
-  /// impossible.  Multi-tenant code must use add_idle_handler instead.
+  /// DEPRECATED — use add_idle_handler (see docs/runtime.md for the
+  /// migration).  Installs the *sole* idle handler for `pe`, asserting
+  /// if any handler is already registered: a second engine silently
+  /// clobbering the first's pull loop was exactly the bug that made
+  /// multi-tenant runs impossible.  Kept as a guard-railed wrapper for
+  /// external single-tenant callers; every internal engine now
+  /// registers through add_idle_handler.
   void set_idle_handler(PeId pe, IdleHandler handler);
 
   /// Registers an additional idle handler for `pe` and returns a handle
@@ -188,6 +198,17 @@ class Machine {
       std::function<void(PeId, SimTime, SimTime, bool)>;
   void set_span_hook(SpanHook hook) { span_hook_ = std::move(hook); }
 
+  /// Attaches an observability registry (src/obs/registry.hpp): the
+  /// machine then publishes task/idle-poll counts, message and byte
+  /// counters split by locality tier (attributed to the sending
+  /// entity), and a machine-wide ready-task depth series, all stamped
+  /// in simulated time.  Publishing never charges simulated CPU, so
+  /// attaching a registry does not perturb a run.  Pass nullptr to
+  /// detach.  The registry must outlive the machine (or be detached
+  /// first) and should share this machine's topology.
+  void set_registry(obs::Registry* registry);
+  obs::Registry* registry() const { return registry_; }
+
   /// Straggler injection: scales the speed of one PE.  A factor of 0.5
   /// halves its effective clock (every charge takes twice the simulated
   /// time).  Used by the load-imbalance experiments — a single slow PE
@@ -230,8 +251,12 @@ class Machine {
 
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t ready_tasks_ = 0;  // tasks waiting in PE fifos
   RunStats* active_stats_ = nullptr;
   SpanHook span_hook_;
+
+  obs::Registry* registry_ = nullptr;
+  std::unique_ptr<obs::RuntimeCounters> obs_;  // valid iff registry_
 };
 
 }  // namespace acic::runtime

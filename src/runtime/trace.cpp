@@ -16,7 +16,9 @@ std::vector<std::vector<double>> Tracer::utilization(
 
   for (const TraceSpan& span : spans_) {
     if (span.pe >= num_pes) continue;          // comm threads etc.
-    if (span.kind == SpanKind::kIdlePoll) continue;
+    // Named spans overlap the task spans that already account for the
+    // busy time; only kTask contributes.
+    if (span.kind != SpanKind::kTask) continue;
     const SimTime start = std::min(span.start_us, horizon_us);
     const SimTime end = std::min(span.end_us, horizon_us);
     auto bin = static_cast<std::size_t>(start / bin_width);
@@ -42,9 +44,12 @@ bool Tracer::write_csv(const std::string& path) const {
   if (f == nullptr) return false;
   std::fputs("pe,start_us,end_us,kind\n", f);
   for (const TraceSpan& span : spans_) {
+    const char* kind = span.kind == SpanKind::kTask       ? "task"
+                       : span.kind == SpanKind::kIdlePoll ? "idle"
+                       : span.name != nullptr             ? span.name
+                                                          : "named";
     std::fprintf(f, "%u,%.3f,%.3f,%s\n", span.pe, span.start_us,
-                 span.end_us,
-                 span.kind == SpanKind::kTask ? "task" : "idle");
+                 span.end_us, kind);
   }
   std::fclose(f);
   return true;

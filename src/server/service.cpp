@@ -20,6 +20,22 @@ QueryService::QueryService(runtime::Machine& machine, const graph::Csr& csr,
   ACIC_ASSERT_MSG(config_.max_inflight > 0,
                   "admission controller needs max_inflight >= 1");
   ACIC_ASSERT(config_.frontend_pe < machine_.num_pes());
+
+  if (config_.registry != nullptr) {
+    obs::Registry& reg = *config_.registry;
+    obs_submitted_ = reg.counter("server/queries_submitted");
+    obs_completed_ = reg.counter("server/completed");
+    obs_cache_hits_ = reg.counter("server/cache_hits");
+    obs_wait_depth_ = reg.series("server/wait_queue_depth");
+    obs_running_ = reg.series("server/running_engines");
+    // One attachment covers the whole serving run: machine runtime/net
+    // counters, every engine's introspection stream, and the service's
+    // own counters land in the same registry.
+    machine_.set_registry(config_.registry);
+    if (config_.engine.registry == nullptr) {
+      config_.engine.registry = config_.registry;
+    }
+  }
 }
 
 QueryService::~QueryService() = default;
@@ -35,6 +51,10 @@ void QueryService::submit(const std::vector<QueryArrival>& arrivals) {
     const std::size_t index = pending_records_.size();
     pending_records_.push_back(record);
     ++submitted_;
+    if (config_.registry != nullptr) {
+      config_.registry->add(obs_submitted_, config_.frontend_pe, 1,
+                            machine_.current_time());
+    }
     machine_.schedule_at(arrival.arrival_us, config_.frontend_pe,
                          [this, index](runtime::Pe& pe) {
                            on_arrival(pe, index);
@@ -43,6 +63,7 @@ void QueryService::submit(const std::vector<QueryArrival>& arrivals) {
 }
 
 void QueryService::on_arrival(runtime::Pe& pe, std::size_t record_index) {
+  const runtime::ScopedSpan span(config_.tracer, pe, "server/arrival");
   QueryRecord& record = pending_records_[record_index];
   // Front-end cache check: the one counted lookup this query makes.
   pe.charge(config_.cache_lookup_cost_us);
@@ -94,6 +115,7 @@ void QueryService::start_engine(runtime::Pe& pe, const Pending& pending) {
 }
 
 void QueryService::on_engine_complete(runtime::Pe& pe, std::uint64_t id) {
+  const runtime::ScopedSpan span(config_.tracer, pe, "server/complete");
   const auto it =
       std::find_if(running_.begin(), running_.end(),
                    [id](const InFlight& f) { return f.id == id; });
@@ -125,6 +147,12 @@ void QueryService::complete_record(runtime::Pe& pe,
   QueryRecord& record = pending_records_[record_index];
   record.complete_us = pe.now();
   record.cache_hit = cache_hit;
+  if (config_.registry != nullptr) {
+    config_.registry->add(obs_completed_, pe.id(), 1, pe.now());
+    if (cache_hit) {
+      config_.registry->add(obs_cache_hits_, pe.id(), 1, pe.now());
+    }
+  }
   if (config_.keep_distances && cache_hit) {
     // A hit is only ever declared with the entry present.
     results_[record.id] = *cache_.peek(record.source);
@@ -136,6 +164,12 @@ void QueryService::sample_queue(runtime::SimTime time_us) {
   metrics_.sample_queue(time_us,
                         static_cast<std::uint32_t>(wait_queue_.size()),
                         static_cast<std::uint32_t>(running_.size()));
+  if (config_.registry != nullptr) {
+    config_.registry->append(obs_wait_depth_, time_us,
+                             static_cast<double>(wait_queue_.size()));
+    config_.registry->append(obs_running_, time_us,
+                             static_cast<double>(running_.size()));
+  }
 }
 
 void QueryService::schedule_retirement_sweep(runtime::Pe& pe) {

@@ -44,7 +44,9 @@
 #include "src/core/acic.hpp"
 #include "src/graph/csr.hpp"
 #include "src/graph/partition.hpp"
+#include "src/obs/registry.hpp"
 #include "src/runtime/machine.hpp"
+#include "src/runtime/trace.hpp"
 #include "src/server/cache.hpp"
 #include "src/server/metrics.hpp"
 #include "src/server/workload.hpp"
@@ -65,6 +67,18 @@ struct ServiceConfig {
   /// Retain every completed query's full distance vector, addressable by
   /// query id (memory-heavy; for tests and validation harnesses).
   bool keep_distances = false;
+
+  /// Optional observability registry: the service publishes
+  /// "server/queries_submitted", "server/completed" and
+  /// "server/cache_hits" counters plus "server/wait_queue_depth" and
+  /// "server/running_engines" series, and propagates the registry into
+  /// every engine it starts.  Must outlive the service.
+  obs::Registry* registry = nullptr;
+  /// Optional tracer: front-end handlers (arrival, completion) record
+  /// named spans via runtime::ScopedSpan.  For long workloads give the
+  /// tracer a capacity bound (Tracer::set_capacity).  Must outlive the
+  /// service.
+  runtime::Tracer* tracer = nullptr;
 };
 
 class QueryService {
@@ -101,6 +115,10 @@ class QueryService {
   /// Distances for a completed query (keep_distances only; nullptr if
   /// unknown id or retention disabled).
   const std::vector<graph::Dist>* distances_for(std::uint64_t id) const;
+
+  /// The registry the service publishes into (config.registry; nullptr
+  /// when observability is off).
+  obs::Registry* registry_view() const { return config_.registry; }
 
  private:
   struct Pending {
@@ -143,6 +161,13 @@ class QueryService {
   bool sweep_scheduled_ = false;
 
   std::map<std::uint64_t, std::vector<graph::Dist>> results_;
+
+  // Registry handles; valid iff config_.registry != nullptr.
+  obs::CounterId obs_submitted_;
+  obs::CounterId obs_completed_;
+  obs::CounterId obs_cache_hits_;
+  obs::SeriesId obs_wait_depth_;
+  obs::SeriesId obs_running_;
 };
 
 }  // namespace acic::server

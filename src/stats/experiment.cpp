@@ -3,12 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/baselines/delta_stepping_2d.hpp"
-#include "src/baselines/delta_stepping_dist.hpp"
 #include "src/graph/generators.hpp"
-#include "src/graph/partition.hpp"
-#include "src/graph/partition2d.hpp"
 #include "src/runtime/machine.hpp"
+#include "src/sssp/solver.hpp"
 #include "src/util/assert.hpp"
 
 namespace acic::stats {
@@ -116,16 +113,24 @@ void AlgoParams::set_buffer_items(std::size_t items) {
 
 namespace {
 
-double imbalance(const std::vector<runtime::SimTime>& busy) {
-  if (busy.empty()) return 0.0;
-  double total = 0.0;
-  double peak = 0.0;
-  for (const double b : busy) {
-    total += b;
-    peak = std::max(peak, b);
+/// Registry name each Algo dispatches to (sssp::run_solver).
+const char* solver_name_of(Algo algo) {
+  switch (algo) {
+    case Algo::kAcic:
+      return "acic";
+    case Algo::kDelta1D:
+      return "delta_stepping_dist";
+    case Algo::kRiken:
+      return "delta_stepping_2d";
+    case Algo::kKla:
+      return "kla";
+    case Algo::kDistControl:
+      return "distributed_control";
+    case Algo::kAsyncBaseline:
+      return "async_baseline";
   }
-  const double mean = total / static_cast<double>(busy.size());
-  return mean > 0.0 ? peak / mean : 0.0;
+  ACIC_ASSERT(false);
+  return "?";
 }
 
 }  // namespace
@@ -142,76 +147,28 @@ RunOutcome run_algorithm(Algo algo, const graph::Csr& csr,
     machine.set_speed_factor(machine.num_pes() - 1,
                              spec.straggler_factor);
   }
-  const std::uint32_t pes = machine.num_pes();
+
+  sssp::SolverOptions opts;
+  opts.acic = params.acic;
+  opts.acic_balanced_partition = params.acic_balanced_partition;
+  opts.delta = params.delta;
+  opts.kla = params.kla;
+  opts.dc = params.dc;
+  opts.time_limit_us = time_limit_us;
+  // The historical 1-D comparison point is pure delta-stepping; the
+  // hybrid Bellman-Ford tail belongs to the RIKEN-style kRiken entry.
+  if (algo == Algo::kDelta1D) opts.delta.hybrid_bellman_ford = false;
+
+  auto run = sssp::run_solver(solver_name_of(algo), machine, csr,
+                              spec.source, opts);
+
   RunOutcome outcome;
   outcome.algo = algo;
-
-  switch (algo) {
-    case Algo::kAcic: {
-      const auto partition =
-          params.acic_balanced_partition
-              ? graph::Partition1D::balanced_edges(csr, pes)
-              : graph::Partition1D::block(csr.num_vertices(), pes);
-      auto run = core::acic_sssp(machine, csr, partition, spec.source,
-                                 params.acic, time_limit_us);
-      outcome.sssp = std::move(run.sssp);
-      outcome.hit_time_limit = run.hit_time_limit;
-      outcome.cycles = run.reduction_cycles;
-      outcome.busy_imbalance = imbalance(run.pe_busy_us);
-      break;
-    }
-    case Algo::kDelta1D: {
-      const auto partition =
-          graph::Partition1D::block(csr.num_vertices(), pes);
-      baselines::DeltaConfig config = params.delta;
-      config.hybrid_bellman_ford = false;
-      auto run = baselines::delta_stepping_dist(
-          machine, csr, partition, spec.source, config, time_limit_us);
-      outcome.sssp = std::move(run.sssp);
-      outcome.hit_time_limit = run.hit_time_limit;
-      outcome.cycles = run.barrier_rounds;
-      outcome.switched_to_bf = run.switched_to_bf;
-      outcome.busy_imbalance = imbalance(run.pe_busy_us);
-      break;
-    }
-    case Algo::kRiken: {
-      const auto partition = graph::Partition2D::squarest(csr, pes);
-      auto run = baselines::delta_stepping_2d(
-          machine, csr, partition, spec.source, params.delta,
-          time_limit_us);
-      outcome.sssp = std::move(run.sssp);
-      outcome.hit_time_limit = run.hit_time_limit;
-      outcome.cycles = run.barrier_rounds;
-      outcome.switched_to_bf = run.switched_to_bf;
-      outcome.busy_imbalance = imbalance(run.pe_busy_us);
-      break;
-    }
-    case Algo::kKla: {
-      const auto partition =
-          graph::Partition1D::block(csr.num_vertices(), pes);
-      auto run = baselines::kla_sssp(machine, csr, partition, spec.source,
-                                     params.kla, time_limit_us);
-      outcome.sssp = std::move(run.sssp);
-      outcome.hit_time_limit = run.hit_time_limit;
-      outcome.cycles = run.supersteps;
-      outcome.busy_imbalance = imbalance(run.pe_busy_us);
-      break;
-    }
-    case Algo::kDistControl:
-    case Algo::kAsyncBaseline: {
-      const auto partition =
-          graph::Partition1D::block(csr.num_vertices(), pes);
-      baselines::DistributedControlConfig config = params.dc;
-      config.use_priority = algo == Algo::kDistControl;
-      auto run = baselines::distributed_control_sssp(
-          machine, csr, partition, spec.source, config, time_limit_us);
-      outcome.sssp = std::move(run.sssp);
-      outcome.hit_time_limit = run.hit_time_limit;
-      outcome.cycles = run.detector_cycles;
-      outcome.busy_imbalance = imbalance(run.pe_busy_us);
-      break;
-    }
-  }
+  outcome.sssp = std::move(run.sssp);
+  outcome.hit_time_limit = run.telemetry.hit_time_limit;
+  outcome.cycles = run.telemetry.cycles;
+  outcome.busy_imbalance = run.telemetry.busy_imbalance;
+  outcome.switched_to_bf = run.telemetry.extra("switched_to_bf") != 0.0;
   return outcome;
 }
 

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/registry.hpp"
 #include "src/runtime/machine.hpp"
 #include "src/util/assert.hpp"
 
@@ -68,6 +69,14 @@ struct TramConfig {
   /// before low-distance ones).  Correctness must be order-independent;
   /// only wasted-work counts may change.
   bool debug_reverse_batches = false;
+
+  /// Optional observability registry.  When set, the tram publishes
+  /// "tram/*" counters (inserts, deliveries, aggregate messages, auto
+  /// vs manual flushes) and a "tram/flush_occupancy" series recording
+  /// buffer fill at every flush.  Families are shared by name, so
+  /// several tram instances (e.g. one per concurrent query) merge into
+  /// machine-wide totals.  Must outlive the tram.
+  obs::Registry* registry = nullptr;
 };
 
 struct TramStats {
@@ -98,6 +107,16 @@ class Tram {
     const std::size_t dests = dest_is_pe() ? topo_.num_pes()
                                            : topo_.num_procs();
     buffers_.assign(sets, std::vector<Buffer>(dests));
+    if (config_.registry != nullptr) {
+      obs::Registry& reg = *config_.registry;
+      obs_items_inserted_ = reg.counter("tram/items_inserted", true);
+      obs_items_delivered_ = reg.counter("tram/items_delivered", true);
+      obs_aggregate_messages_ =
+          reg.counter("tram/aggregate_messages", true);
+      obs_auto_flushes_ = reg.counter("tram/auto_flushes");
+      obs_manual_flushes_ = reg.counter("tram/manual_flushes");
+      obs_flush_occupancy_ = reg.series("tram/flush_occupancy");
+    }
   }
 
   Tram(const Tram&) = delete;
@@ -113,8 +132,14 @@ class Tram {
     Buffer& buffer = buffers_[set][dest];
     buffer.items.push_back(Entry{dst_pe, item});
     ++stats_.items_inserted;
+    if (config_.registry != nullptr) {
+      config_.registry->add(obs_items_inserted_, src.id(), 1, src.now());
+    }
     if (buffer.items.size() >= config_.buffer_items) {
       ++stats_.auto_flushes;
+      if (config_.registry != nullptr) {
+        config_.registry->add(obs_auto_flushes_, src.id(), 1, src.now());
+      }
       flush_buffer(src, set, dest);
     }
   }
@@ -132,6 +157,9 @@ class Tram {
     }
     ++stats_.manual_flushes;
     if (!any) ++stats_.flushed_empty;
+    if (config_.registry != nullptr) {
+      config_.registry->add(obs_manual_flushes_, pe.id(), 1, pe.now());
+    }
   }
 
   /// Items currently waiting in buffers writable by `pe` (test hook).
@@ -179,6 +207,16 @@ class Tram {
       std::reverse(batch.begin(), batch.end());
     }
     ++stats_.aggregate_messages;
+    if (config_.registry != nullptr) {
+      config_.registry->add(obs_aggregate_messages_, src.id(), 1,
+                            src.now());
+      // Occupancy at flush: how full the buffer was relative to the
+      // auto-flush threshold (1.0 = full, i.e. an automatic flush).
+      config_.registry->append(
+          obs_flush_occupancy_, src.now(),
+          static_cast<double>(batch.size()) /
+              static_cast<double>(config_.buffer_items));
+    }
 
     if (dest_is_pe()) {
       // All items share one destination PE: one aggregate straight there.
@@ -237,6 +275,9 @@ class Tram {
       ACIC_ASSERT(entry.target == pe.id());
       pe.charge(config_.deliver_cost_us);
       ++stats_.items_delivered;
+      if (config_.registry != nullptr) {
+        config_.registry->add(obs_items_delivered_, pe.id(), 1, pe.now());
+      }
       deliver_(pe, entry.item);
       if (config_.debug_duplicate_every != 0 &&
           stats_.items_delivered % config_.debug_duplicate_every == 0) {
@@ -253,6 +294,14 @@ class Tram {
   const runtime::Topology& topo_;
   std::vector<std::vector<Buffer>> buffers_;  // [set][dest]
   TramStats stats_;
+
+  // Registry handles; valid iff config_.registry != nullptr.
+  obs::CounterId obs_items_inserted_;
+  obs::CounterId obs_items_delivered_;
+  obs::CounterId obs_aggregate_messages_;
+  obs::CounterId obs_auto_flushes_;
+  obs::CounterId obs_manual_flushes_;
+  obs::SeriesId obs_flush_occupancy_;
 };
 
 }  // namespace acic::tram
