@@ -2,7 +2,9 @@
 // Helpers shared by the figure-reproduction bench binaries: option
 // parsing into CompareSpec/ExperimentSpec, progress printing, CSV output.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -16,7 +18,12 @@
 
 namespace acic::bench {
 
-inline std::vector<std::uint32_t> parse_list(const std::string& csv) {
+/// Parses a comma-separated list of unsigned integers.  A token that is
+/// not a plain decimal number (e.g. `--nodes=1,x`) is an option error:
+/// the harness prints which token of which option was bad and exits,
+/// instead of dying in an uncaught std::stoul exception.
+inline std::vector<std::uint32_t> parse_list(const std::string& csv,
+                                             const char* option = "list") {
   std::vector<std::uint32_t> out;
   std::size_t pos = 0;
   while (pos < csv.size()) {
@@ -24,7 +31,27 @@ inline std::vector<std::uint32_t> parse_list(const std::string& csv) {
     const std::string tok =
         csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
     if (!tok.empty()) {
-      out.push_back(static_cast<std::uint32_t>(std::stoul(tok)));
+      std::uint64_t value = 0;
+      bool ok = true;
+      for (const char c : tok) {
+        if (c < '0' || c > '9') {
+          ok = false;
+          break;
+        }
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        if (value > 0xffffffffull) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        std::fprintf(stderr,
+                     "option error: --%s: invalid token '%s' in '%s' "
+                     "(want comma-separated unsigned integers)\n",
+                     option, tok.c_str(), csv.c_str());
+        std::exit(2);
+      }
+      out.push_back(static_cast<std::uint32_t>(value));
     }
     if (comma == std::string::npos) break;
     pos = comma + 1;
@@ -44,7 +71,7 @@ inline stats::CompareSpec compare_spec_from_options(
   spec.base_seed =
       static_cast<std::uint64_t>(opts.get_int("seed", 1));
   if (opts.has("nodes")) {
-    spec.nodes_list = parse_list(opts.get("nodes", ""));
+    spec.nodes_list = parse_list(opts.get("nodes", ""), "nodes");
   }
   spec.buffer_override =
       static_cast<std::size_t>(opts.get_int("buffer", 0));

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/baselines/sequential.hpp"
+#include "src/obs/registry.hpp"
 #include "src/core/histogram.hpp"
 #include "src/core/thresholds.hpp"
 #include "src/graph/generators.hpp"
@@ -39,6 +40,33 @@ void BM_MachineEventThroughput(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_MachineEventThroughput)->Arg(1 << 12)->Arg(1 << 15);
+
+// Observability cost on the event-loop hot path: the same workload as
+// BM_MachineEventThroughput with a registry attached (Arg(1)) vs not
+// (Arg(0)).  The attached run exercises the per-event counter adds plus
+// the batched ready-depth series sampling; the detached run measures the
+// cost of the registry branch alone.  The two should stay within a few
+// percent of each other (docs/performance.md tracks the target).
+void BM_MachineObsOverhead(benchmark::State& state) {
+  const bool attach = state.range(0) != 0;
+  constexpr std::uint64_t kEvents = 1 << 14;
+  for (auto _ : state) {
+    Machine machine(Topology::tiny(4));
+    obs::Registry registry(machine.topology());
+    if (attach) machine.set_registry(&registry);
+    std::uint64_t executed = 0;
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      machine.schedule_at(static_cast<double>(i), i % 4,
+                          [&executed](Pe&) { ++executed; });
+    }
+    machine.run();
+    benchmark::DoNotOptimize(executed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kEvents) *
+                          state.iterations());
+  state.SetLabel(attach ? "registry_attached" : "registry_detached");
+}
+BENCHMARK(BM_MachineObsOverhead)->Arg(0)->Arg(1);
 
 void BM_MessageRoundTrip(benchmark::State& state) {
   for (auto _ : state) {

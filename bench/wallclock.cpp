@@ -1,0 +1,282 @@
+// Wall-clock benchmark harness: times *host* seconds per solver × scale
+// and emits BENCH_wallclock.json at the repo root (or --out PATH), so
+// every PR leaves a perf trajectory behind.  Unlike the fig*/ablation
+// harnesses (which report *simulated* time), this one measures how fast
+// the discrete-event simulator itself runs — the number the hot-path
+// work in src/runtime/ is accountable to.
+//
+//   ./build/bench/wallclock --scales 16,18 --trials 3
+//   ./build/bench/wallclock --scale 16 --trials 3 --check BENCH_wallclock.json
+//   (--check exits 3 on a >25% events/sec regression vs the checked file)
+//
+// Per (solver, scale) the harness runs `trials` identical queries on
+// fresh machines and reports best/mean wall seconds, events/sec and
+// tasks/sec (scheduler throughput), plus the simulated-side invariants
+// (sim time, update counts, an FNV-1a checksum over the distance bits)
+// that must stay bit-identical across host-side optimizations.  A
+// `pre_pr` object already present in the output file is carried
+// forward, preserving the before/after record the ISSUE asks for.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/graph/csr.hpp"
+#include "src/sssp/solver.hpp"
+#include "src/stats/experiment.hpp"
+
+namespace {
+
+using namespace acic;
+
+struct Sample {
+  double wall_best_s = 0.0;
+  double wall_mean_s = 0.0;
+  std::uint64_t events = 0;  // heap pops in Machine::run
+  std::uint64_t tasks = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  double sim_time_us = 0.0;
+  std::uint64_t updates_created = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t dist_checksum = 0;
+};
+
+/// FNV-1a over the raw distance bits: any behavioural drift in the
+/// simulation shows up here before anything else.
+std::uint64_t checksum_distances(const std::vector<graph::Dist>& dist) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const graph::Dist d : dist) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(d) == sizeof(bits));
+    std::memcpy(&bits, &d, sizeof(bits));
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (bits >> shift) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+Sample run_one(const std::string& solver, const stats::ExperimentSpec& spec,
+               const graph::Csr& csr, std::uint32_t trials) {
+  Sample sample;
+  sample.wall_best_s = 1e300;
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    runtime::Machine machine(spec.topology());
+    sssp::SolverOptions opts;
+    const auto start = std::chrono::steady_clock::now();
+    const sssp::SolverRun run =
+        sssp::run_solver(solver, machine, csr, spec.source, opts);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    sample.wall_best_s = std::min(sample.wall_best_s, wall.count());
+    sample.wall_mean_s += wall.count() / static_cast<double>(trials);
+
+    // Every trial replays the identical simulation, so the simulated-side
+    // numbers are recorded once and cross-checked on the repeats.
+    std::uint64_t tasks = 0;
+    for (runtime::PeId p = 0; p < machine.num_pes(); ++p) {
+      tasks += machine.pe_tasks_run(p);
+    }
+    const std::uint64_t checksum = checksum_distances(run.sssp.dist);
+    if (trial == 0) {
+      sample.events = machine.total_events_processed();
+      sample.tasks = tasks;
+      sample.messages = machine.total_messages_sent();
+      sample.bytes = machine.total_bytes_sent();
+      sample.sim_time_us = run.sssp.metrics.sim_time_us;
+      sample.updates_created = run.sssp.metrics.updates_created;
+      sample.cycles = run.telemetry.cycles;
+      sample.dist_checksum = checksum;
+    } else if (checksum != sample.dist_checksum ||
+               tasks != sample.tasks) {
+      std::fprintf(stderr,
+                   "wallclock: nondeterminism! %s trial %u diverged "
+                   "(checksum %016" PRIx64 " vs %016" PRIx64 ")\n",
+                   solver.c_str(), trial, checksum, sample.dist_checksum);
+      std::exit(4);
+    }
+  }
+  return sample;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Extracts the balanced-brace object following `"key":` in `text`; empty
+/// string if absent.  Enough JSON for our own self-produced files.
+std::string extract_object(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return {};
+  std::size_t open = text.find('{', at + needle.size());
+  if (open == std::string::npos) return {};
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) {
+      return text.substr(open, i - open + 1);
+    }
+  }
+  return {};
+}
+
+/// Finds `"events_per_sec": <num>` inside the results entry for
+/// (solver, scale); 0.0 if absent.
+double find_events_per_sec(const std::string& text, const std::string& solver,
+                           std::uint32_t scale) {
+  const std::string entry_key =
+      "\"solver\": \"" + solver + "\", \"scale\": " + std::to_string(scale);
+  const std::size_t at = text.find(entry_key);
+  if (at == std::string::npos) return 0.0;
+  const std::string field = "\"events_per_sec\": ";
+  const std::size_t f = text.find(field, at);
+  if (f == std::string::npos) return 0.0;
+  return std::strtod(text.c_str() + f + field.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opts;
+  opts.parse(argc, argv);
+
+  std::vector<std::uint32_t> scales{16};
+  if (opts.has("scales")) {
+    scales = bench::parse_list(opts.get("scales", ""), "scales");
+  } else if (opts.has("scale")) {
+    scales = {static_cast<std::uint32_t>(opts.get_int("scale", 16))};
+  }
+  const auto trials =
+      static_cast<std::uint32_t>(opts.get_int("trials", 3));
+  const std::string solvers_csv =
+      opts.get("solvers", "acic,delta_stepping_dist,kla");
+  const std::string out_path = opts.get("out", "BENCH_wallclock.json");
+
+  std::vector<std::string> solvers;
+  {
+    std::size_t pos = 0;
+    while (pos <= solvers_csv.size()) {
+      const std::size_t comma = solvers_csv.find(',', pos);
+      const std::string tok = solvers_csv.substr(
+          pos, comma == std::string::npos ? comma : comma - pos);
+      if (!tok.empty()) solvers.push_back(tok);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  for (const std::string& solver : solvers) {
+    if (!sssp::has_solver(solver)) {
+      std::fprintf(stderr, "wallclock: unknown solver '%s'\n",
+                   solver.c_str());
+      return 2;
+    }
+  }
+
+  stats::ExperimentSpec base;
+  base.graph = stats::graph_kind_from_string(opts.get("graph", "random"));
+  base.edge_factor =
+      static_cast<std::uint32_t>(opts.get_int("edge-factor", 16));
+  base.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  base.nodes = static_cast<std::uint32_t>(opts.get_int("nodes", 2));
+
+  const std::string previous = slurp(out_path);
+  const std::string pre_pr = extract_object(previous, "pre_pr");
+
+  std::string results;
+  std::printf("wallclock: trials=%u nodes=%u solvers=%s\n", trials,
+              base.nodes, solvers_csv.c_str());
+  for (const std::uint32_t scale : scales) {
+    stats::ExperimentSpec spec = base;
+    spec.scale = scale;
+    const graph::Csr csr = stats::build_graph(spec);
+    std::printf("scale %u: |V|=%u |E|=%llu\n", scale, csr.num_vertices(),
+                static_cast<unsigned long long>(csr.num_edges()));
+    for (const std::string& solver : solvers) {
+      const Sample s = run_one(solver, spec, csr, trials);
+      const double events_per_sec =
+          static_cast<double>(s.events) / s.wall_best_s;
+      const double tasks_per_sec =
+          static_cast<double>(s.tasks) / s.wall_best_s;
+      std::printf(
+          "  %-20s wall=%.3fs (best of %u)  %.3gM events/s  "
+          "%.3gM tasks/s  sim=%.0fus  checksum=%016" PRIx64 "\n",
+          solver.c_str(), s.wall_best_s, trials, events_per_sec * 1e-6,
+          tasks_per_sec * 1e-6, s.sim_time_us, s.dist_checksum);
+      std::fflush(stdout);
+
+      char entry[1024];
+      std::snprintf(
+          entry, sizeof(entry),
+          "    {\"solver\": \"%s\", \"scale\": %u, "
+          "\"wall_seconds_best\": %.6f, \"wall_seconds_mean\": %.6f, "
+          "\"events\": %llu, \"tasks\": %llu, \"messages\": %llu, "
+          "\"bytes\": %llu, \"events_per_sec\": %.1f, "
+          "\"tasks_per_sec\": %.1f, \"sim_time_us\": %.6f, "
+          "\"updates_created\": %llu, \"cycles\": %llu, "
+          "\"dist_checksum\": \"%016" PRIx64 "\"}",
+          solver.c_str(), scale, s.wall_best_s, s.wall_mean_s,
+          static_cast<unsigned long long>(s.events),
+          static_cast<unsigned long long>(s.tasks),
+          static_cast<unsigned long long>(s.messages),
+          static_cast<unsigned long long>(s.bytes), events_per_sec,
+          tasks_per_sec, s.sim_time_us,
+          static_cast<unsigned long long>(s.updates_created),
+          static_cast<unsigned long long>(s.cycles), s.dist_checksum);
+      if (!results.empty()) results += ",\n";
+      results += entry;
+    }
+  }
+
+  std::string json = "{\n  \"benchmark\": \"wallclock\",\n";
+  json += "  \"trials\": " + std::to_string(trials) + ",\n";
+  json += "  \"nodes\": " + std::to_string(base.nodes) + ",\n";
+  json += "  \"edge_factor\": " + std::to_string(base.edge_factor) + ",\n";
+  json += "  \"seed\": " + std::to_string(base.seed) + ",\n";
+  if (!pre_pr.empty()) json += "  \"pre_pr\": " + pre_pr + ",\n";
+  json += "  \"results\": [\n" + results + "\n  ]\n}\n";
+
+  // Regression gate: compare events/sec for --check-solver at the first
+  // measured scale against a previously committed BENCH_wallclock.json.
+  if (opts.has("check")) {
+    const std::string baseline = slurp(opts.get("check", ""));
+    if (baseline.empty()) {
+      std::fprintf(stderr, "wallclock: cannot read baseline %s\n",
+                   opts.get("check", "").c_str());
+      return 2;
+    }
+    const std::string solver = opts.get("check-solver", "acic");
+    const std::uint32_t scale = scales.front();
+    const double tolerance = opts.get_double("max-regress", 0.25);
+    const double before = find_events_per_sec(baseline, solver, scale);
+    const double after = find_events_per_sec(json, solver, scale);
+    if (before > 0.0 && after < before * (1.0 - tolerance)) {
+      std::fprintf(stderr,
+                   "wallclock: %s events/sec regressed %.1f%% at scale %u "
+                   "(%.0f -> %.0f, tolerance %.0f%%)\n",
+                   solver.c_str(), 100.0 * (1.0 - after / before), scale,
+                   before, after, tolerance * 100.0);
+      return 3;
+    }
+    std::printf("regression check ok: %s %.0f -> %.0f events/sec\n",
+                solver.c_str(), before, after);
+  }
+
+  std::ofstream out(out_path, std::ios::binary);
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

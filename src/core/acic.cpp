@@ -3,7 +3,6 @@
 #include <memory>
 #include <algorithm>
 #include <deque>
-#include <queue>
 #include <span>
 #include <utility>
 
@@ -13,6 +12,7 @@
 #include "src/sssp/update.hpp"
 #include "src/tram/tram.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/dary_heap.hpp"
 
 namespace acic::core {
 
@@ -24,6 +24,31 @@ using sssp::Update;
 
 namespace {
 
+/// The in-flight form of an update inside this engine: the wire pair
+/// (vertex, dist) plus the distance's histogram bucket, computed once at
+/// creation time and carried along.  Every PE buckets with the same
+/// width, so the receiver-side value is identical — carrying it replaces
+/// an fp divide per delivery, per pq pop and per expansion.  The bucket
+/// packs into Update's existing alignment padding: sizeof(UpdateMsg) ==
+/// sizeof(Update), so tram buffer footprints are unchanged (and the
+/// simulated wire size comes from TramConfig::item_bytes regardless).
+struct UpdateMsg {
+  VertexId vertex = 0;
+  std::uint32_t bucket = 0;
+  Dist dist = 0.0;
+};
+static_assert(sizeof(UpdateMsg) == sizeof(Update));
+
+/// Same ordering as sssp::UpdateMinOrder on the (dist, vertex) key; the
+/// bucket is a function of dist, so ties are still only between
+/// indistinguishable elements and pop order stays deterministic.
+struct UpdateMsgMinOrder {
+  bool operator()(const UpdateMsg& a, const UpdateMsg& b) const {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    return a.vertex > b.vertex;
+  }
+};
+
 /// Per-PE algorithm state.  Only tasks running on the owning PE touch it
 /// (message-passing discipline; the simulation is single-threaded but the
 /// code is written as if each PE were a separate address space).
@@ -32,10 +57,17 @@ struct PeState {
   VertexId last = 0;
   std::vector<Dist> dist;  // indexed by (v - first)
 
-  std::unique_ptr<UpdateHistogram> histogram;
+  // By value (not unique_ptr): bucketing touches it once per
+  // created and once per processed update, so the extra pointer
+  // chase was visible at wall-clock scale.
+  UpdateHistogram histogram{1, 1.0, 1};
   BucketedHold tram_hold{1};
   BucketedHold pq_hold{1};
-  std::priority_queue<Update, std::vector<Update>, sssp::UpdateMinOrder> pq;
+  /// 4-ary min-heap of pending expansions (pop order identical to the
+  /// former std::priority_queue: the order ties only between
+  /// bit-identical updates).  reserve() keeps steady-state push/pop off
+  /// the allocator.
+  util::DaryHeap<UpdateMsg, UpdateMsgMinOrder> pq;
 
   std::size_t t_tram = 0;
   std::size_t t_pq = 0;
@@ -56,6 +88,9 @@ struct PeState {
   std::uint64_t entered_pq_directly = 0;
   std::uint64_t held_in_pq_hold = 0;
   std::uint64_t expanded = 0;
+
+  /// Reusable contribution payload (histogram counts + 3 scalars).
+  std::vector<double> payload_scratch;
 
   bool terminated = false;
 };
@@ -93,10 +128,12 @@ class AcicEngine::Impl {
       state.first = partition.begin(p);
       state.last = partition.end(p);
       state.dist.assign(state.last - state.first, graph::kInfDist);
-      state.histogram = std::make_unique<UpdateHistogram>(
+      state.histogram = UpdateHistogram(
           config_.num_buckets, config_.bucket_width, csr.num_vertices());
       state.tram_hold = BucketedHold(config_.num_buckets);
       state.pq_hold = BucketedHold(config_.num_buckets);
+      state.pq.reserve(std::min<std::size_t>(
+          state.last - state.first, 4096));
       // Before the first broadcast the activity is trivially low, so the
       // thresholds start fully open (Algorithm 1's low-activity branch).
       state.t_tram = config_.num_buckets - 1;
@@ -120,9 +157,8 @@ class AcicEngine::Impl {
       }
     }
 
-    tram_ = std::make_unique<tram::Tram<Update>>(
-        machine_, config_.tram,
-        [this](Pe& pe, const Update& u) { on_deliver(pe, u); });
+    tram_ = std::make_unique<UpdateTram>(machine_, config_.tram,
+                                         Deliver{this});
 
     build_reducer();
 
@@ -189,6 +225,22 @@ class AcicEngine::Impl {
   }
 
  private:
+  /// Concrete (non-type-erased) delivery functor handed to the tram, so
+  /// deliver_batch's per-item dispatch inlines straight into on_deliver.
+  struct Deliver {
+    Impl* impl;
+    void operator()(Pe& pe, const UpdateMsg& u) const {
+      impl->on_deliver(pe, u);
+    }
+    /// Lets the tram store bare 16-byte UpdateMsgs (no per-entry target
+    /// field): an update's destination is always its vertex's owner, and
+    /// owner() on the uniform block partition is a shift.
+    PeId target_of(const UpdateMsg& u) const {
+      return impl->partition_.owner(u.vertex);
+    }
+  };
+  using UpdateTram = tram::Tram<UpdateMsg, Deliver>;
+
   PeState& state_of(const Pe& pe) { return pes_[pe.id()]; }
 
   // ---- update lifecycle -------------------------------------------------
@@ -197,13 +249,20 @@ class AcicEngine::Impl {
   /// histogram and routes it through the tram threshold (paper fig. 2,
   /// green "create" block).
   void create_update(Pe& pe, VertexId target, Dist d) {
-    PeState& state = state_of(pe);
+    create_update(pe, state_of(pe), target, d);
+  }
+
+  /// Overload taking the already-resolved PE state: expand's inner loop
+  /// calls this once per out-edge.
+  void create_update(Pe& pe, PeState& state, VertexId target, Dist d) {
     ++state.created;
-    const std::size_t bucket = state.histogram->bucket_of(d);
-    state.histogram->increment(bucket);
+    const std::size_t bucket = state.histogram.bucket_of(d);
+    state.histogram.increment(bucket);
     if (!config_.use_tram_hold || bucket <= state.t_tram) {
       ++state.sent_directly;
-      tram_->insert(pe, partition_.owner(target), Update{target, d});
+      tram_->insert(
+          pe, partition_.owner(target),
+          UpdateMsg{target, static_cast<std::uint32_t>(bucket), d});
     } else {
       ++state.held_in_tram;
       state.tram_hold.put(bucket, Update{target, d});
@@ -217,21 +276,23 @@ class AcicEngine::Impl {
   /// arrival" block).  Better distances are applied immediately; the
   /// expansion is deferred through pq so a still-better update can
   /// supersede it (the paper's optimal-update generation).
-  void on_deliver(Pe& pe, const Update& u) {
+  void on_deliver(Pe& pe, const UpdateMsg& u) {
     PeState& state = state_of(pe);
     if (state.terminated) {
       // Early termination declared: every reachable vertex is final, so
       // any straggler update is by definition rejectable.
-      mark_processed(state, u.dist);
+      mark_processed_bucket(state, u.bucket);
       ++state.rejected;
       return;
     }
     pe.charge(config_.costs.update_apply_us);
     const VertexId local = u.vertex - state.first;
-    ACIC_ASSERT(u.vertex >= state.first && u.vertex < state.last);
+    ACIC_HOT_ASSERT(u.vertex >= state.first && u.vertex < state.last);
 
+    // The update carries its creation-time bucket: the same value serves
+    // the rejection decrement and the pq/hold routing below.
     if (u.dist >= state.dist[local]) {
-      mark_processed(state, u.dist);
+      mark_processed_bucket(state, u.bucket);
       ++state.rejected;
       return;
     }
@@ -242,14 +303,13 @@ class AcicEngine::Impl {
       expand(pe, u);  // baseline behaviour: relax out-edges immediately
       return;
     }
-    const std::size_t bucket = state.histogram->bucket_of(u.dist);
-    if (!config_.use_pq_hold || bucket <= state.t_pq) {
+    if (!config_.use_pq_hold || u.bucket <= state.t_pq) {
       ++state.entered_pq_directly;
       pe.charge(config_.costs.pq_op_us);
       state.pq.push(u);
     } else {
       ++state.held_in_pq_hold;
-      state.pq_hold.put(bucket, u);
+      state.pq_hold.put(u.bucket, Update{u.vertex, u.dist});
       if (config_.registry != nullptr) {
         config_.registry->add(obs_held_pq_, pe.id(), 1, pe.now());
       }
@@ -264,15 +324,14 @@ class AcicEngine::Impl {
     for (std::size_t i = 0;
          i < config_.pq_drain_batch && !state.pq.empty(); ++i) {
       pe.charge(config_.costs.pq_op_us);
-      const Update u = state.pq.top();
-      state.pq.pop();
+      const UpdateMsg u = state.pq.pop_top();
       any = true;
       const VertexId local = u.vertex - state.first;
       if (state.dist[local] == u.dist) {
         expand(pe, u);
       } else {
         // A better update arrived while this one sat in pq: it is wasted.
-        mark_processed(state, u.dist);
+        mark_processed_bucket(state, u.bucket);
         ++state.superseded;
       }
     }
@@ -283,7 +342,7 @@ class AcicEngine::Impl {
   /// processed.  High-degree vertices may be stolen: the edge range is
   /// split across the process's worker PEs, which relax their chunks
   /// against the shared-memory CSR (future work §V).
-  void expand(Pe& pe, const Update& u) {
+  void expand(Pe& pe, const UpdateMsg& u) {
     const auto row = csr_.out_neighbors(u.vertex);
     const std::uint32_t workers =
         machine_.topology().pes_per_proc;
@@ -294,13 +353,16 @@ class AcicEngine::Impl {
                row.size() >= config_.steal_threshold_degree) {
       expand_stolen(pe, u, row);
     } else {
+      PeState& state = state_of(pe);
+      const runtime::SimTime relax_us = config_.costs.edge_relax_us;
       for (const graph::Neighbor& nb : row) {
-        pe.charge(config_.costs.edge_relax_us);
-        create_update(pe, nb.dst, u.dist + nb.weight);
+        pe.charge(relax_us);
+        create_update(pe, state, nb.dst, u.dist + nb.weight);
       }
     }
-    ++state_of(pe).expanded;
-    mark_processed(state_of(pe), u.dist);
+    PeState& state = state_of(pe);
+    ++state.expanded;
+    mark_processed_bucket(state, u.bucket);
   }
 
   /// Work-stealing expansion: split the row into chunks on the shared
@@ -308,19 +370,19 @@ class AcicEngine::Impl {
   /// and relaxes them.  Each chunk is itself accounted as an update
   /// (created here, processed by the puller) so the quiescence counters
   /// observe in-flight chunks.
-  void expand_stolen(Pe& pe, const Update& u,
+  void expand_stolen(Pe& pe, const UpdateMsg& u,
                      std::span<const graph::Neighbor> row) {
     PeState& owner = state_of(pe);
     const runtime::Topology& topo = machine_.topology();
     const std::uint32_t proc = topo.proc_of(pe.id());
-    const std::size_t request_bucket = owner.histogram->bucket_of(u.dist);
+    const std::size_t request_bucket = u.bucket;
 
     std::size_t begin = 0;
     while (begin < row.size()) {
       const std::size_t end =
           std::min(begin + config_.steal_chunk_edges, row.size());
       ++owner.created;
-      owner.histogram->increment(request_bucket);
+      owner.histogram.increment(request_bucket);
       pe.charge(config_.steal_queue_op_us);
       steal_queues_[proc].push_back(
           StealChunk{u.vertex, u.dist, begin, end, request_bucket});
@@ -343,10 +405,10 @@ class AcicEngine::Impl {
   /// the shared CSR (the graph is replicated read-only in the
   /// simulation, standing in for a 1.5-D edge distribution).  Chunks
   /// are accounted exactly like stolen chunks.
-  void expand_hub_split(Pe& pe, const Update& u,
+  void expand_hub_split(Pe& pe, const UpdateMsg& u,
                         std::span<const graph::Neighbor> row) {
     PeState& owner = state_of(pe);
-    const std::size_t request_bucket = owner.histogram->bucket_of(u.dist);
+    const std::size_t request_bucket = u.bucket;
     const std::uint32_t pes = machine_.num_pes();
     const std::size_t chunk_len =
         std::max<std::size_t>(config_.steal_chunk_edges,
@@ -357,7 +419,7 @@ class AcicEngine::Impl {
     while (begin < row.size()) {
       const std::size_t end = std::min(begin + chunk_len, row.size());
       ++owner.created;
-      owner.histogram->increment(request_bucket);
+      owner.histogram.increment(request_bucket);
 
       const PeId target = next % pes;
       next = target + 1;
@@ -371,7 +433,7 @@ class AcicEngine::Impl {
         }
         PeState& state = state_of(worker);
         ++state.processed;
-        state.histogram->decrement(request_bucket);
+        state.histogram.decrement(request_bucket);
       };
       if (target == pe.id()) {
         relax_chunk(pe);
@@ -398,13 +460,19 @@ class AcicEngine::Impl {
     }
     PeState& state = state_of(pe);
     ++state.processed;
-    state.histogram->decrement(chunk.bucket);
+    state.histogram.decrement(chunk.bucket);
     return true;
   }
 
   void mark_processed(PeState& state, Dist d) {
+    mark_processed_bucket(state, state.histogram.bucket_of(d));
+  }
+
+  /// Overload for callers that already bucketed the distance (the
+  /// bucket_of divide once per update was visible at wall-clock scale).
+  void mark_processed_bucket(PeState& state, std::size_t bucket) {
     ++state.processed;
-    state.histogram->decrement(state.histogram->bucket_of(d));
+    state.histogram.decrement(bucket);
   }
 
   // ---- introspection cycle ----------------------------------------------
@@ -414,9 +482,12 @@ class AcicEngine::Impl {
   void contribute(Pe& pe) {
     PeState& state = state_of(pe);
     if (state.terminated) return;
-    std::vector<double> payload;
+    // Reused per-PE scratch: contribute runs every reduction cycle and
+    // the Reducer only reads the payload during the call.
+    std::vector<double>& payload = state.payload_scratch;
+    payload.clear();
     payload.reserve(payload_width());
-    state.histogram->append_to(&payload);
+    state.histogram.append_to(&payload);
     payload.push_back(static_cast<double>(state.created));
     payload.push_back(static_cast<double>(state.processed));
     payload.push_back(
@@ -435,7 +506,7 @@ class AcicEngine::Impl {
     std::uint64_t finalized = 0;
     for (const Dist d : state.dist) {
       if (d != graph::kInfDist &&
-          state.histogram->bucket_of(d) < state.lowest_active_bucket) {
+          state.histogram.bucket_of(d) < state.lowest_active_bucket) {
         ++finalized;
       }
     }
@@ -528,7 +599,7 @@ class AcicEngine::Impl {
   /// created == processed conservation invariant survives).
   void abandon_remaining(PeState& state) {
     while (!state.pq.empty()) {
-      mark_processed(state, state.pq.top().dist);
+      mark_processed_bucket(state, state.pq.top().bucket);
       ++state.superseded;
       state.pq.pop();
     }
@@ -570,7 +641,14 @@ class AcicEngine::Impl {
                             release_buffer_.size(), pe.now());
     }
     for (const Update& u : release_buffer_) {
-      tram_->insert(pe, partition_.owner(u.vertex), u);
+      // Held updates dropped their bucket (the holds store the wire
+      // pair); recompute it once here — releases are per-broadcast, not
+      // per-update, so the divide is cold.
+      tram_->insert(pe, partition_.owner(u.vertex),
+                    UpdateMsg{u.vertex,
+                              static_cast<std::uint32_t>(
+                                  state.histogram.bucket_of(u.dist)),
+                              u.dist});
     }
 
     release_buffer_.clear();
@@ -581,7 +659,10 @@ class AcicEngine::Impl {
     }
     for (const Update& u : release_buffer_) {
       pe.charge(config_.costs.pq_op_us);
-      state.pq.push(u);
+      state.pq.push(UpdateMsg{u.vertex,
+                              static_cast<std::uint32_t>(
+                                  state.histogram.bucket_of(u.dist)),
+                              u.dist});
     }
 
     // The paper's manual flush: guarantees buffered updates eventually
@@ -603,7 +684,7 @@ class AcicEngine::Impl {
   std::vector<PeState> pes_;
   std::vector<runtime::IdleHandlerId> idle_handler_ids_;
   std::uint32_t terminated_pes_ = 0;
-  std::unique_ptr<tram::Tram<Update>> tram_;
+  std::unique_ptr<UpdateTram> tram_;
   std::unique_ptr<runtime::Reducer> reducer_;
 
   // Root-side termination double-check state.

@@ -44,17 +44,17 @@ class UpdateHistogram {
 
   /// Bucket index of distance d; the last bucket absorbs overflow.
   std::size_t bucket_of(graph::Dist d) const {
-    ACIC_ASSERT(d >= 0.0);
+    ACIC_HOT_ASSERT(d >= 0.0);
     const auto b = static_cast<std::size_t>(d / width_);
     return b < counts_.size() ? b : counts_.size() - 1;
   }
 
   void increment(std::size_t bucket) {
-    ACIC_ASSERT(bucket < counts_.size());
+    ACIC_HOT_ASSERT(bucket < counts_.size());
     ++counts_[bucket];
   }
   void decrement(std::size_t bucket) {
-    ACIC_ASSERT(bucket < counts_.size());
+    ACIC_HOT_ASSERT(bucket < counts_.size());
     --counts_[bucket];
   }
 

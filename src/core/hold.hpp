@@ -22,8 +22,13 @@ class BucketedHold {
       : buckets_(num_buckets) {}
 
   void put(std::size_t bucket, const sssp::Update& update) {
-    ACIC_ASSERT(bucket < buckets_.size());
-    buckets_[bucket].push_back(update);
+    ACIC_HOT_ASSERT(bucket < buckets_.size());
+    std::vector<sssp::Update>& list = buckets_[bucket];
+    // Holds fill in bursts between broadcasts; a modest first-touch
+    // reservation skips the doubling cascade (capacity survives the
+    // clear() in release_up_to, so this runs once per bucket).
+    if (list.capacity() == 0) list.reserve(16);
+    list.push_back(update);
     ++size_;
   }
 

@@ -49,10 +49,4 @@ Partition1D Partition1D::balanced_edges(const Csr& csr,
   return Partition1D(std::move(starts));
 }
 
-std::uint32_t Partition1D::owner(VertexId v) const {
-  ACIC_ASSERT(v < num_vertices());
-  const auto it = std::upper_bound(starts_.begin(), starts_.end(), v);
-  return static_cast<std::uint32_t>(it - starts_.begin()) - 1;
-}
-
 }  // namespace acic::graph

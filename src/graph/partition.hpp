@@ -13,11 +13,13 @@
 // The 2-D grid partition used by the RIKEN Δ-stepping baseline lives in
 // partition2d.hpp.
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "src/graph/csr.hpp"
 #include "src/graph/types.hpp"
+#include "src/util/assert.hpp"
 
 namespace acic::graph {
 
@@ -42,17 +44,63 @@ class Partition1D {
     return starts_[part + 1] - starts_[part];
   }
 
-  /// Owner of vertex v (binary search over the range starts).
-  std::uint32_t owner(VertexId v) const;
+  /// Owner of vertex v.  Defined inline: it runs once per created
+  /// update.  A uniform power-of-two block partition (the common case:
+  /// Graph500-style 2^scale vertices over a power-of-two PE count)
+  /// resolves with a single shift.  Otherwise, for the usual handful of
+  /// parts, a branchless count of range starts <= v beats a binary
+  /// search — update targets are effectively random, so the search's
+  /// branches never predict.  All forms yield the same index (starts_
+  /// is ascending and starts_[0] is 0, so the count equals
+  /// upper_bound - begin - 1).
+  std::uint32_t owner(VertexId v) const {
+    ACIC_HOT_ASSERT(v < num_vertices());
+    if (shift_ != kNoShift) {
+      return static_cast<std::uint32_t>(v >> shift_);
+    }
+    const std::uint32_t parts = num_parts();
+    if (parts <= 32) {
+      std::uint32_t o = 0;
+      for (std::uint32_t p = 1; p < parts; ++p) {
+        o += starts_[p] <= v ? 1u : 0u;
+      }
+      return o;
+    }
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), v);
+    return static_cast<std::uint32_t>(it - starts_.begin()) - 1;
+  }
 
   const std::vector<VertexId>& starts() const { return starts_; }
 
  private:
   explicit Partition1D(std::vector<VertexId> starts)
-      : starts_(std::move(starts)) {}
+      : starts_(std::move(starts)) {
+    // Detect a uniform power-of-two block: starts_[p] == p << shift for
+    // every p (including the end sentinel).  owner() then degenerates to
+    // v >> shift, which is exact — no floating point involved.
+    const std::uint32_t parts = num_parts();
+    const VertexId chunk = parts > 0 ? starts_[1] - starts_[0] : 0;
+    if (starts_[0] == 0 && chunk > 0 && (chunk & (chunk - 1)) == 0) {
+      std::uint32_t shift = 0;
+      while ((VertexId{1} << shift) != chunk) ++shift;
+      bool uniform = true;
+      for (std::uint32_t p = 0; p <= parts; ++p) {
+        if (starts_[p] != static_cast<VertexId>(p) * chunk) {
+          uniform = false;
+          break;
+        }
+      }
+      if (uniform) shift_ = shift;
+    }
+  }
+
+  static constexpr std::uint32_t kNoShift = 0xffffffffu;
 
   // starts_[p] is the first vertex of part p; starts_[num_parts] == |V|.
   std::vector<VertexId> starts_;
+  // log2(part size) when the partition is a uniform power-of-two block,
+  // kNoShift otherwise.
+  std::uint32_t shift_ = kNoShift;
 };
 
 }  // namespace acic::graph

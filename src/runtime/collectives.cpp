@@ -50,6 +50,20 @@ Reducer::Reducer(Machine& machine, std::size_t width, RootHandler on_root,
   ACIC_ASSERT(fanout_ >= 1);
   if (ops_.empty()) ops_.assign(width_, ReduceOp::kSum);
   ACIC_ASSERT_MSG(ops_.size() == width_, "one ReduceOp per payload slot");
+  all_sum_ = std::all_of(ops_.begin(), ops_.end(),
+                         [](ReduceOp op) { return op == ReduceOp::kSum; });
+}
+
+std::vector<double> Reducer::acquire_payload() {
+  if (payload_pool_.empty()) return {};
+  std::vector<double> v = std::move(payload_pool_.back());
+  payload_pool_.pop_back();
+  return v;
+}
+
+void Reducer::recycle_payload(std::vector<double>&& v) {
+  if (payload_pool_.size() >= 64 || v.capacity() < width_) return;
+  payload_pool_.push_back(std::move(v));
 }
 
 std::uint32_t Reducer::num_children(PeId pe) const {
@@ -73,14 +87,23 @@ void Reducer::absorb(Pe& pe, std::uint64_t cycle,
   NodeState& node = nodes_[pe.id()];
   PendingCycle& pending = node.pending[cycle];
   if (pending.sum.empty()) {
+    pending.sum = acquire_payload();
     pending.sum.resize(width_);
     for (std::size_t i = 0; i < width_; ++i) {
       pending.sum[i] = identity_for(ops_[i]);
     }
   }
   pe.charge(combine_cost_us_per_element_ * static_cast<double>(width_));
-  for (std::size_t i = 0; i < width_; ++i) {
-    pending.sum[i] = combine(ops_[i], pending.sum[i], value[i]);
+  if (all_sum_) {
+    // Same operation, same order as the general loop below — just
+    // without the per-slot op dispatch, so the compiler vectorizes it.
+    double* sum = pending.sum.data();
+    const double* v = value.data();
+    for (std::size_t i = 0; i < width_; ++i) sum[i] += v[i];
+  } else {
+    for (std::size_t i = 0; i < width_; ++i) {
+      pending.sum[i] = combine(ops_[i], pending.sum[i], value[i]);
+    }
   }
   ++pending.received;
   forward_or_finish(pe, cycle);
@@ -101,6 +124,7 @@ void Reducer::forward_or_finish(Pe& pe, std::uint64_t cycle) {
     ++cycles_completed_;
     const std::optional<std::vector<double>> payload =
         on_root_(pe, cycle, sum);
+    recycle_payload(std::move(sum));
     if (payload.has_value()) {
       broadcast_down(pe, cycle, *payload);
     }
@@ -109,8 +133,9 @@ void Reducer::forward_or_finish(Pe& pe, std::uint64_t cycle) {
 
   const PeId parent = parent_of(pe.id());
   pe.send(parent, payload_bytes(),
-          [this, cycle, sum = std::move(sum)](Pe& parent_pe) {
+          [this, cycle, sum = std::move(sum)](Pe& parent_pe) mutable {
             absorb(parent_pe, cycle, sum);
+            recycle_payload(std::move(sum));
           });
 }
 

@@ -8,13 +8,6 @@
 
 namespace acic::runtime {
 
-void Pe::charge(SimTime us) {
-  ACIC_ASSERT_MSG(us >= 0.0, "cannot charge negative time");
-  const SimTime scaled = us / speed_factor_;
-  current_time_ += scaled;
-  busy_us_ += scaled;
-}
-
 void Pe::send(PeId to, std::size_t bytes, Task task) {
   machine_->send(id_, to, bytes, std::move(task));
 }
@@ -33,11 +26,21 @@ Machine::Machine(Topology topology, NetworkModel network)
     pes_[p].id_ = p;
     pes_[p].machine_ = this;
   }
+  // Steady-state queue depth is a small multiple of the PE count; seed the
+  // backing stores so warm-up never reallocates mid-sift.
+  const std::size_t hint =
+      std::max<std::size_t>(1024, 4 * topology_.num_entities());
+  queue_.reserve(hint);
+  task_slots_.reserve(hint);
+  free_slots_.reserve(hint);
 }
 
+// Parked tasks (arrivals never executed because run() hit its time limit)
+// are destroyed with task_slots_.
 Machine::~Machine() = default;
 
 void Machine::set_registry(obs::Registry* registry) {
+  flush_ready_sample();  // pending sample belongs to the old registry
   registry_ = registry;
   if (registry_ == nullptr) {
     obs_.reset();
@@ -65,23 +68,20 @@ void Machine::send(PeId from, PeId to, std::size_t bytes, Task task) {
     ++active_stats_->messages_sent;
     active_stats_->bytes_sent += bytes;
   }
-  if (registry_ != nullptr) {
+  if (registry_ != nullptr) [[unlikely]] {
     registry_->add(obs_->messages(loc), from, 1, departure);
     registry_->add(obs_->bytes(loc), from, bytes, departure);
   }
 
-  // The receiver pays its per-message overhead when it picks the task up.
-  const SimTime recv_overhead = network_.recv_overhead_us;
-  push_arrival(arrival, to,
-               [recv_overhead, inner = std::move(task)](Pe& pe) {
-                 pe.charge(recv_overhead);
-                 inner(pe);
-               });
+  // The receiver pays its per-message overhead when it picks the task up
+  // (flagged on the queued task; no wrapper closure).
+  push_arrival(arrival, to, std::move(task), /*charge_recv=*/true);
 }
 
 void Machine::schedule_at(SimTime time, PeId pe, Task task) {
   ACIC_ASSERT(pe < num_entities());
-  push_arrival(std::max(time, 0.0), pe, std::move(task));
+  push_arrival(std::max(time, 0.0), pe, std::move(task),
+               /*charge_recv=*/false);
 }
 
 void Machine::set_idle_handler(PeId pe, IdleHandler handler) {
@@ -134,25 +134,67 @@ void Machine::set_speed_factor(PeId pe, double factor) {
   pes_[pe].speed_factor_ = factor;
 }
 
-void Machine::push_arrival(SimTime time, PeId pe, Task task) {
-  queue_.push(Event{time, next_seq_++, pe, EventKind::kArrival,
-                    std::move(task)});
+std::uint32_t Machine::acquire_slot(Task task) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    task_slots_[slot] = std::move(task);
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(task_slots_.size());
+  ACIC_ASSERT_MSG(slot < kNoSlot, "task slot store exceeded 2^30 entries");
+  task_slots_.push_back(std::move(task));
+  return slot;
+}
+
+Task Machine::release_slot(std::uint32_t slot) {
+  Task task = std::move(task_slots_[slot]);
+  task_slots_[slot] = nullptr;
+  free_slots_.push_back(slot);
+  return task;
+}
+
+void Machine::note_ready_depth(SimTime time) {
+  // Same-timestamp changes coalesce: only the last value at a given
+  // instant is observable, so one series append per distinct time.
+  if (ready_sample_pending_ && ready_sample_time_ != time) {
+    registry_->append(obs_->ready_tasks, ready_sample_time_,
+                      ready_sample_value_);
+  }
+  ready_sample_pending_ = true;
+  ready_sample_time_ = time;
+  ready_sample_value_ = static_cast<double>(ready_tasks_);
+}
+
+void Machine::flush_ready_sample() {
+  if (ready_sample_pending_) {
+    registry_->append(obs_->ready_tasks, ready_sample_time_,
+                      ready_sample_value_);
+    ready_sample_pending_ = false;
+  }
+}
+
+void Machine::push_arrival(SimTime time, PeId pe, Task task,
+                           bool charge_recv) {
+  const std::uint32_t slot = acquire_slot(std::move(task));
+  queue_.push(Event{time, next_seq_++, pe,
+                    charge_recv ? (kRecvBit | slot) : slot});
 }
 
 void Machine::ensure_exec_scheduled(Pe& pe, SimTime earliest) {
   if (pe.exec_scheduled_) return;
   pe.exec_scheduled_ = true;
   queue_.push(Event{std::max(earliest, pe.avail_time_), next_seq_++,
-                    pe.id_, EventKind::kExec, nullptr});
+                    pe.id_, kExecBit | kNoSlot});
 }
 
-void Machine::handle_arrival(Event& event) {
+void Machine::handle_arrival(const Event& event) {
   Pe& pe = pes_[event.pe];
-  pe.fifo_.push_back(std::move(event.task));
+  // The queued-task word reuses the event's packing (recv bit + slot).
+  pe.fifo_.push_back(event.packed);
   ++ready_tasks_;
-  if (registry_ != nullptr) {
-    registry_->append(obs_->ready_tasks, event.time,
-                      static_cast<double>(ready_tasks_));
+  if (registry_ != nullptr) [[unlikely]] {
+    note_ready_depth(event.time);
   }
   ensure_exec_scheduled(pe, event.time);
 }
@@ -163,17 +205,21 @@ void Machine::handle_exec(const Event& event) {
   pe.current_time_ = std::max(event.time, pe.avail_time_);
 
   if (!pe.fifo_.empty()) {
-    Task task = std::move(pe.fifo_.front());
-    pe.fifo_.pop_front();
+    const std::uint32_t queued = pe.fifo_.pop_front();
+    // Move the task out of its slot before running it: the task may
+    // enqueue new arrivals, which can grow (reallocate) the slot store.
+    Task task = release_slot(queued & kSlotMask);
     ++pe.tasks_run_;
     --ready_tasks_;
     if (active_stats_ != nullptr) ++active_stats_->tasks_executed;
-    if (registry_ != nullptr) {
+    if (registry_ != nullptr) [[unlikely]] {
       registry_->add(obs_->tasks_executed, pe.id_, 1, pe.current_time_);
-      registry_->append(obs_->ready_tasks, pe.current_time_,
-                        static_cast<double>(ready_tasks_));
+      note_ready_depth(pe.current_time_);
     }
     const SimTime span_start = pe.current_time_;
+    // The receiver's per-message overhead is part of the task's span,
+    // charged exactly where the old wrapper closure charged it.
+    if ((queued & kRecvBit) != 0) pe.charge(network_.recv_overhead_us);
     task(pe);
     if (span_hook_) {
       span_hook_(pe.id_, span_start, pe.current_time_, false);
@@ -182,7 +228,7 @@ void Machine::handle_exec(const Event& event) {
     // Stay scheduled: either more tasks are queued or the idle handler
     // deserves a poll once this task's simulated time has elapsed.
     queue_.push(Event{pe.avail_time_, next_seq_++, pe.id_,
-                      EventKind::kExec, nullptr});
+                      kExecBit | kNoSlot});
     return;
   }
 
@@ -195,7 +241,7 @@ void Machine::handle_exec(const Event& event) {
     const SimTime span_start = pe.current_time_;
     pe.charge(idle_poll_cost_us_);
     if (active_stats_ != nullptr) ++active_stats_->idle_polls;
-    if (registry_ != nullptr) {
+    if (registry_ != nullptr) [[unlikely]] {
       registry_->add(obs_->idle_polls, pe.id_, 1, pe.current_time_);
     }
     bool did_work = false;
@@ -217,7 +263,7 @@ void Machine::handle_exec(const Event& event) {
     pe.avail_time_ = pe.current_time_;
     if (did_work || !pe.fifo_.empty()) {
       queue_.push(Event{pe.avail_time_, next_seq_++, pe.id_,
-                        EventKind::kExec, nullptr});
+                        kExecBit | kNoSlot});
       return;
     }
   }
@@ -232,20 +278,19 @@ RunStats Machine::run(SimTime time_limit) {
       stats.hit_time_limit = true;
       break;
     }
-    // priority_queue::top() is const; the arrival task must be moved out,
-    // so we copy the metadata and const_cast the payload — safe because
-    // the element is popped immediately afterwards.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
+    const Event event = queue_.top();  // POD copy; payload stays parked
     queue_.pop();
+    ++events_processed_;
+    ++stats.events_processed;
     current_time_ = std::max(current_time_, event.time);
-    switch (event.kind) {
-      case EventKind::kArrival:
-        handle_arrival(event);
-        break;
-      case EventKind::kExec:
-        handle_exec(event);
-        break;
+    if (event.is_exec()) {
+      handle_exec(event);
+    } else {
+      handle_arrival(event);
     }
+  }
+  if (registry_ != nullptr) [[unlikely]] {
+    flush_ready_sample();
   }
   stats.end_time_us = current_time_;
   active_stats_ = nullptr;

@@ -13,12 +13,25 @@
 // becomes idle ... the runtime system triggers a method that pulls
 // updates in pq in increasing distance order").
 //
+// Hot-path layout (docs/performance.md)
+// -------------------------------------
+// Tasks are `runtime::Task` (src/runtime/task.hpp): move-only with
+// inline capture storage, so scheduling a message allocates nothing for
+// typical closures.  The event heap holds 24-byte POD `Event`s ordered
+// in a 4-ary heap; an arrival's task is parked in a slot store
+// (`task_slots_` + free list) and referenced by index, so heap sift
+// operations move plain integers, never closures.  Receive overhead is
+// charged by a flag bit on the queued-task word instead of a wrapping
+// closure, and per-PE run queues are power-of-two rings of those words.
+//
 // Determinism
 // -----------
 // The event queue orders by (time, sequence number); all ties break on
 // the monotone sequence number, so a given program + seed produces an
 // identical event interleaving on every run.  This property underpins
 // the regression tests and makes experiments exactly reproducible.
+// Slot and pool reuse recycles *memory*, never ordering: indices take no
+// part in event comparison.
 //
 // Ownership discipline (per the HPC guides: message passing, no shared
 // mutable state): a task scheduled on PE p may mutate only state owned by
@@ -28,15 +41,16 @@
 // that algorithm results are independent of network timing parameters.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "src/runtime/network.hpp"
+#include "src/runtime/task.hpp"
 #include "src/runtime/topology.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/dary_heap.hpp"
 
 namespace acic::obs {
 class Registry;
@@ -47,9 +61,6 @@ namespace acic::runtime {
 
 class Machine;
 class Pe;
-
-/// An entry-method invocation: runs on a specific PE with its context.
-using Task = std::function<void(Pe&)>;
 
 /// Idle handler: invoked when the PE has no pending tasks.  Returns true
 /// if it performed work (it will then be invoked again once that work's
@@ -70,6 +81,9 @@ struct RunStats {
   std::uint64_t idle_polls = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
+  /// Heap pops (arrivals + exec steps) — the event loop's raw unit of
+  /// work, the denominator of the wall-clock benches' events/sec.
+  std::uint64_t events_processed = 0;
   bool hit_time_limit = false;
 };
 
@@ -81,8 +95,17 @@ class Pe {
 
   /// Consumes `us` microseconds of simulated CPU on this PE (scaled by
   /// the PE's speed factor; a factor of 0.5 makes everything take twice
-  /// as long — see Machine::set_speed_factor).
-  void charge(SimTime us);
+  /// as long — see Machine::set_speed_factor).  Defined inline: this is
+  /// the most-called function in the simulator (one or more calls per
+  /// relaxed edge), and the full-speed case skips the divide — exact,
+  /// since x / 1.0 == x bit for bit.
+  void charge(SimTime us) {
+    ACIC_HOT_ASSERT_MSG(us >= 0.0, "cannot charge negative time");
+    const SimTime scaled =
+        speed_factor_ == 1.0 ? us : us / speed_factor_;
+    current_time_ += scaled;
+    busy_us_ += scaled;
+  }
 
   /// Current simulated time on this PE (advances within a task as CPU is
   /// charged).
@@ -98,11 +121,47 @@ class Pe {
  private:
   friend class Machine;
 
+  /// FIFO of queued-task words (slot index plus the receive-overhead
+  /// flag, packed as in Event).  A power-of-two ring: push_back and
+  /// pop_front are an index mask each, and the backing store never
+  /// moves in the steady state (a deque pays block bookkeeping per
+  /// operation; this queue cycles ~10^5 times per SSSP query).
+  class TaskRing {
+   public:
+    bool empty() const noexcept { return count_ == 0; }
+    void push_back(std::uint32_t v) {
+      if (count_ == buf_.size()) grow();
+      buf_[(head_ + count_) & (buf_.size() - 1)] = v;
+      ++count_;
+    }
+    std::uint32_t pop_front() {
+      const std::uint32_t v = buf_[head_];
+      head_ = (head_ + 1) & (buf_.size() - 1);
+      --count_;
+      return v;
+    }
+
+   private:
+    void grow() {
+      const std::size_t old_cap = buf_.size();
+      std::vector<std::uint32_t> grown(old_cap == 0 ? 64 : old_cap * 2);
+      for (std::size_t i = 0; i < count_; ++i) {
+        grown[i] = buf_[(head_ + i) & (old_cap - 1)];
+      }
+      head_ = 0;
+      buf_.swap(grown);
+    }
+
+    std::vector<std::uint32_t> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
   PeId id_ = 0;
   Machine* machine_ = nullptr;
 
   // Scheduler state.
-  std::deque<Task> fifo_;
+  TaskRing fifo_;
   SimTime avail_time_ = 0.0;     // when the PE finishes its current task
   SimTime current_time_ = 0.0;   // time inside the running task
   bool exec_scheduled_ = false;
@@ -185,6 +244,7 @@ class Machine {
 
   std::uint64_t total_messages_sent() const { return messages_sent_; }
   std::uint64_t total_bytes_sent() const { return bytes_sent_; }
+  std::uint64_t total_events_processed() const { return events_processed_; }
 
   /// Overhead charged per idle-handler poll (prevents zero-time idle
   /// loops; roughly the cost of the runtime scheduler's empty-queue
@@ -203,7 +263,9 @@ class Machine {
   /// counters split by locality tier (attributed to the sending
   /// entity), and a machine-wide ready-task depth series, all stamped
   /// in simulated time.  Publishing never charges simulated CPU, so
-  /// attaching a registry does not perturb a run.  Pass nullptr to
+  /// attaching a registry does not perturb a run.  Ready-depth samples
+  /// are batched per distinct timestamp (intermediate same-time values
+  /// are unobservable), keeping the attach cost low.  Pass nullptr to
   /// detach.  The registry must outlive the machine (or be detached
   /// first) and should share this machine's topology.
   void set_registry(obs::Registry* registry);
@@ -218,14 +280,26 @@ class Machine {
   void set_speed_factor(PeId pe, double factor);
 
  private:
-  enum class EventKind : std::uint8_t { kArrival, kExec };
+  /// Event kind and the receive-overhead flag fold into the top two bits
+  /// of the slot word: slot indices stay well under 2^30 (one live slot
+  /// per parked arrival), and the fold shrinks Event from 32 to 24 bytes
+  /// — one fewer cache line per 4-ary heap child group.
+  static constexpr std::uint32_t kExecBit = 0x80000000u;
+  static constexpr std::uint32_t kRecvBit = 0x40000000u;
+  static constexpr std::uint32_t kSlotMask = 0x3fffffffu;
+  static constexpr std::uint32_t kNoSlot = kSlotMask;
 
+  /// 24-byte POD heap element.  The arrival payload lives in the slot
+  /// store; sifting moves integers only.
   struct Event {
     SimTime time;
     std::uint64_t seq;
     PeId pe;
-    EventKind kind;
-    Task task;  // only for kArrival
+    std::uint32_t packed;  // kExecBit | kRecvBit | slot (task_slots_ index)
+
+    bool is_exec() const { return (packed & kExecBit) != 0; }
+    bool charge_recv() const { return (packed & kRecvBit) != 0; }
+    std::uint32_t slot() const { return packed & kSlotMask; }
   };
 
   struct EventOrder {
@@ -235,15 +309,28 @@ class Machine {
     }
   };
 
-  void push_arrival(SimTime time, PeId pe, Task task);
+  void push_arrival(SimTime time, PeId pe, Task task, bool charge_recv);
   void ensure_exec_scheduled(Pe& pe, SimTime earliest);
-  void handle_arrival(Event& event);
+  void handle_arrival(const Event& event);
   void handle_exec(const Event& event);
+
+  std::uint32_t acquire_slot(Task task);
+  Task release_slot(std::uint32_t slot);
+
+  /// Records the ready-depth series sample for `time`, coalescing all
+  /// same-timestamp changes into the final value (flushed when the
+  /// timestamp advances or the run ends).
+  void note_ready_depth(SimTime time);
+  void flush_ready_sample();
 
   Topology topology_;
   NetworkModel network_;
   std::vector<Pe> pes_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  util::DaryHeap<Event, EventOrder> queue_;
+  /// Parked arrival tasks, indexed by Event::slot; free_slots_ recycles
+  /// indices LIFO.
+  std::vector<Task> task_slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
   IdleHandlerId next_idle_handler_id_ = 1;
   SimTime current_time_ = 0.0;
@@ -251,12 +338,16 @@ class Machine {
 
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t events_processed_ = 0;
   std::uint64_t ready_tasks_ = 0;  // tasks waiting in PE fifos
   RunStats* active_stats_ = nullptr;
   SpanHook span_hook_;
 
   obs::Registry* registry_ = nullptr;
   std::unique_ptr<obs::RuntimeCounters> obs_;  // valid iff registry_
+  bool ready_sample_pending_ = false;
+  SimTime ready_sample_time_ = 0.0;
+  double ready_sample_value_ = 0.0;
 };
 
 }  // namespace acic::runtime

@@ -1,0 +1,90 @@
+#include "src/runtime/task.hpp"
+
+#include <cstdint>
+#include <new>
+
+namespace acic::runtime::detail {
+
+namespace {
+
+// Spilled captures are rare (hot-path closures fit Task's inline buffer)
+// but bursty — e.g. a cold path enqueuing one oversized closure per PE
+// per reduction cycle.  A handful of size classes with LIFO free lists
+// turns those into pointer pops in steady state.  The simulator is
+// single-threaded; thread_local keeps concurrent test runners safe.
+constexpr std::size_t kClassSizes[] = {64, 128, 256, 512, 1024};
+constexpr std::size_t kNumClasses =
+    sizeof(kClassSizes) / sizeof(kClassSizes[0]);
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+struct Slab {
+  FreeBlock* free_lists[kNumClasses] = {};
+  std::size_t live = 0;    // blocks handed out and not yet freed
+  std::size_t pooled = 0;  // blocks parked in the free lists
+
+  ~Slab() {
+    // Return pooled blocks at thread exit so leak checkers see a clean
+    // heap.  Live blocks belong to still-existing Tasks, which are
+    // destroyed before thread-local teardown.
+    for (FreeBlock*& head : free_lists) {
+      while (head != nullptr) {
+        FreeBlock* next = head->next;
+        ::operator delete(head,
+                          std::align_val_t{alignof(std::max_align_t)});
+        head = next;
+      }
+    }
+  }
+};
+
+Slab& slab() {
+  static thread_local Slab instance;
+  return instance;
+}
+
+std::size_t class_of(std::size_t bytes) {
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    if (bytes <= kClassSizes[c]) return c;
+  }
+  return kNumClasses;  // oversized: straight to operator new/delete
+}
+
+}  // namespace
+
+void* task_slab_alloc(std::size_t bytes) {
+  Slab& s = slab();
+  const std::size_t c = class_of(bytes);
+  ++s.live;
+  if (c == kNumClasses) {
+    return ::operator new(bytes, std::align_val_t{alignof(std::max_align_t)});
+  }
+  if (FreeBlock* block = s.free_lists[c]) {
+    s.free_lists[c] = block->next;
+    --s.pooled;
+    return block;
+  }
+  return ::operator new(kClassSizes[c],
+                        std::align_val_t{alignof(std::max_align_t)});
+}
+
+void task_slab_free(void* block, std::size_t bytes) noexcept {
+  Slab& s = slab();
+  const std::size_t c = class_of(bytes);
+  --s.live;
+  if (c == kNumClasses) {
+    ::operator delete(block, std::align_val_t{alignof(std::max_align_t)});
+    return;
+  }
+  auto* free_block = static_cast<FreeBlock*>(block);
+  free_block->next = s.free_lists[c];
+  s.free_lists[c] = free_block;
+  ++s.pooled;
+}
+
+std::size_t task_slab_live_blocks() noexcept { return slab().live; }
+std::size_t task_slab_pooled_blocks() noexcept { return slab().pooled; }
+
+}  // namespace acic::runtime::detail

@@ -36,3 +36,18 @@ namespace acic::util {
       ::acic::util::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
     }                                                                  \
   } while (false)
+
+// Hot-path variants: identical checks, but compiled out in optimized
+// builds (NDEBUG).  These guard per-item simulator loops — charging CPU,
+// bucketing an update, inserting into a tram buffer — which execute tens
+// of millions of times per run; the checks cost double-digit
+// milliseconds at benchmark scale.  Debug and sanitizer builds (which do
+// not define NDEBUG) keep them, so every invariant still has CI
+// coverage.  API-boundary and setup-path checks stay on ACIC_ASSERT.
+#ifndef NDEBUG
+#define ACIC_HOT_ASSERT(expr) ACIC_ASSERT(expr)
+#define ACIC_HOT_ASSERT_MSG(expr, msg) ACIC_ASSERT_MSG(expr, msg)
+#else
+#define ACIC_HOT_ASSERT(expr) ((void)0)
+#define ACIC_HOT_ASSERT_MSG(expr, msg) ((void)0)
+#endif

@@ -1,0 +1,100 @@
+#pragma once
+// d-ary array heap (default 4-ary), a drop-in for std::priority_queue on
+// the simulator's hot paths: the machine's global event queue and ACIC's
+// per-PE update queue.
+//
+// Why not std::priority_queue: a binary heap does ~log2(n) cache-line
+// hops per operation and std::priority_queue cannot reserve its backing
+// store.  A 4-heap halves the tree height (4 children share a cache
+// line, so the extra comparisons per level are nearly free) and exposes
+// reserve() so steady-state push/pop never reallocates.  pop_top()
+// moves the top element out instead of forcing the classic
+// const_cast-the-top dance move-only payloads need with the std adaptor.
+//
+// Ordering contract matches std::priority_queue: top() is the *largest*
+// element under Compare, so existing "greater" comparators (EventOrder,
+// UpdateMinOrder) min-pop unchanged.  For comparators that are total
+// orders — every comparator in this repository breaks ties on a unique
+// sequence/vertex key — the pop sequence is identical to the binary
+// heap's, which is what keeps simulation replays bit-identical.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace acic::util {
+
+template <typename T, typename Compare, unsigned kArity = 4>
+class DaryHeap {
+  static_assert(kArity >= 2, "heap arity must be at least 2");
+
+ public:
+  DaryHeap() = default;
+  explicit DaryHeap(Compare cmp) : cmp_(std::move(cmp)) {}
+
+  void reserve(std::size_t n) { data_.reserve(n); }
+  std::size_t capacity() const noexcept { return data_.capacity(); }
+  bool empty() const noexcept { return data_.empty(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  void clear() noexcept { data_.clear(); }
+
+  const T& top() const { return data_.front(); }
+
+  void push(T value) {
+    data_.push_back(std::move(value));
+    sift_up(data_.size() - 1);
+  }
+
+  void pop() {
+    if (data_.size() > 1) {
+      data_.front() = std::move(data_.back());
+      data_.pop_back();
+      sift_down(0);
+    } else {
+      data_.pop_back();
+    }
+  }
+
+  /// Moves the top element out and pops — one call, no const_cast.
+  T pop_top() {
+    T out = std::move(data_.front());
+    pop();
+    return out;
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    T value = std::move(data_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!cmp_(data_[parent], value)) break;
+      data_[i] = std::move(data_[parent]);
+      i = parent;
+    }
+    data_[i] = std::move(value);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = data_.size();
+    T value = std::move(data_[i]);
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      const std::size_t last =
+          first + kArity < n ? first + kArity : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (cmp_(data_[best], data_[c])) best = c;
+      }
+      if (!cmp_(value, data_[best])) break;
+      data_[i] = std::move(data_[best]);
+      i = best;
+    }
+    data_[i] = std::move(value);
+  }
+
+  std::vector<T> data_;
+  Compare cmp_;
+};
+
+}  // namespace acic::util

@@ -1,0 +1,107 @@
+// Determinism regression: the same seed must reproduce a bit-identical
+// simulation — distances, machine-level RunStats and algorithm lifecycle
+// counters — when a solver runs twice *in one process*.  Two in-process
+// runs share the task-slab free lists, tram buffer pools and machine
+// slot stores warmed by the first run, so this catches any pool-reuse
+// state leaking into scheduling order (the hazard the hot-path layout
+// must not introduce; see docs/performance.md).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/csr.hpp"
+#include "src/runtime/machine.hpp"
+#include "src/sssp/solver.hpp"
+#include "src/stats/experiment.hpp"
+
+namespace {
+
+using acic::graph::Csr;
+using acic::runtime::Machine;
+
+struct RunRecord {
+  std::vector<acic::graph::Dist> dist;
+  acic::sssp::SsspMetrics metrics;
+  std::uint64_t machine_tasks = 0;
+  std::uint64_t machine_events = 0;
+  std::uint64_t machine_messages = 0;
+  std::uint64_t machine_bytes = 0;
+  std::uint64_t cycles = 0;
+  std::vector<std::pair<std::string, double>> extras;
+};
+
+RunRecord run_once(const std::string& solver, const Csr& csr) {
+  acic::stats::ExperimentSpec spec;  // only for topology shape
+  spec.nodes = 2;
+  Machine machine(spec.topology());
+  const auto run = acic::sssp::run_solver(solver, machine, csr, 0);
+
+  RunRecord rec;
+  rec.dist = run.sssp.dist;
+  rec.metrics = run.sssp.metrics;
+  for (acic::runtime::PeId p = 0; p < machine.num_pes(); ++p) {
+    rec.machine_tasks += machine.pe_tasks_run(p);
+  }
+  rec.machine_events = machine.total_events_processed();
+  rec.machine_messages = machine.total_messages_sent();
+  rec.machine_bytes = machine.total_bytes_sent();
+  rec.cycles = run.telemetry.cycles;
+  rec.extras = run.telemetry.extras;
+  return rec;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeterminismTest, SameSeedSameProcessBitIdentical) {
+  acic::stats::ExperimentSpec spec;
+  spec.graph = acic::stats::GraphKind::kRandom;
+  spec.scale = 10;
+  spec.edge_factor = 8;
+  spec.seed = 7;
+  spec.nodes = 2;
+  const Csr csr = acic::stats::build_graph(spec);
+
+  const RunRecord first = run_once(GetParam(), csr);
+  const RunRecord second = run_once(GetParam(), csr);
+
+  // Distances must match bit for bit (EXPECT_EQ on doubles is exact).
+  ASSERT_EQ(first.dist.size(), second.dist.size());
+  for (std::size_t v = 0; v < first.dist.size(); ++v) {
+    ASSERT_EQ(first.dist[v], second.dist[v]) << "vertex " << v;
+  }
+
+  // Machine-level accounting: tasks, events, messages, bytes, end time.
+  EXPECT_EQ(first.machine_tasks, second.machine_tasks);
+  EXPECT_EQ(first.machine_events, second.machine_events);
+  EXPECT_EQ(first.machine_messages, second.machine_messages);
+  EXPECT_EQ(first.machine_bytes, second.machine_bytes);
+  EXPECT_EQ(first.metrics.sim_time_us, second.metrics.sim_time_us);
+
+  // Algorithm-level accounting, including the ACIC lifecycle counters
+  // ("sent_directly", "held_in_tram", ... via telemetry extras).
+  EXPECT_EQ(first.metrics.updates_created, second.metrics.updates_created);
+  EXPECT_EQ(first.metrics.updates_processed,
+            second.metrics.updates_processed);
+  EXPECT_EQ(first.metrics.updates_rejected,
+            second.metrics.updates_rejected);
+  EXPECT_EQ(first.metrics.updates_superseded,
+            second.metrics.updates_superseded);
+  EXPECT_EQ(first.metrics.vertices_touched,
+            second.metrics.vertices_touched);
+  EXPECT_EQ(first.cycles, second.cycles);
+  ASSERT_EQ(first.extras.size(), second.extras.size());
+  for (std::size_t i = 0; i < first.extras.size(); ++i) {
+    EXPECT_EQ(first.extras[i].first, second.extras[i].first);
+    EXPECT_EQ(first.extras[i].second, second.extras[i].second)
+        << "extra '" << first.extras[i].first << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, DeterminismTest,
+                         ::testing::Values("acic", "delta_stepping_dist",
+                                           "kla"));
+
+}  // namespace
