@@ -59,6 +59,47 @@ inline std::vector<std::uint32_t> parse_list(const std::string& csv,
   return out;
 }
 
+/// Parses a comma-separated `--threads` list (host worker threads for
+/// the engine and graph build).  Shares parse_list's non-numeric
+/// handling (a leading '-' is not a digit, so negatives are rejected
+/// there) and additionally rejects 0: "zero threads" is always a typo,
+/// not a request for a serial run — that is `--threads 1`.
+inline std::vector<unsigned> parse_threads_list(
+    const std::string& csv, const char* option = "threads") {
+  std::vector<unsigned> out;
+  for (const std::uint32_t v : parse_list(csv, option)) {
+    if (v == 0) {
+      std::fprintf(stderr,
+                   "option error: --%s: thread counts must be >= 1 "
+                   "(got 0 in '%s')\n",
+                   option, csv.c_str());
+      std::exit(2);
+    }
+    out.push_back(v);
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "option error: --%s: empty thread list '%s'\n",
+                 option, csv.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+/// Single-value form of parse_threads_list for binaries that take one
+/// `--threads N`.
+inline unsigned parse_threads(const std::string& value,
+                              const char* option = "threads") {
+  const std::vector<unsigned> list = parse_threads_list(value, option);
+  if (list.size() != 1) {
+    std::fprintf(stderr,
+                 "option error: --%s: expected one thread count, got "
+                 "'%s'\n",
+                 option, value.c_str());
+    std::exit(2);
+  }
+  return list.front();
+}
+
 inline stats::CompareSpec compare_spec_from_options(
     const util::Options& opts) {
   stats::CompareSpec spec;

@@ -6,16 +6,20 @@
 // work in src/runtime/ is accountable to.
 //
 //   ./build/bench/wallclock --scales 16,18 --trials 3
+//   ./build/bench/wallclock --scale 18 --threads 1,2,4 --trials 3
 //   ./build/bench/wallclock --scale 16 --trials 3 --check BENCH_wallclock.json
 //   (--check exits 3 on a >25% events/sec regression vs the checked file)
 //
-// Per (solver, scale) the harness runs `trials` identical queries on
-// fresh machines and reports best/mean wall seconds, events/sec and
-// tasks/sec (scheduler throughput), plus the simulated-side invariants
-// (sim time, update counts, an FNV-1a checksum over the distance bits)
-// that must stay bit-identical across host-side optimizations.  A
-// `pre_pr` object already present in the output file is carried
-// forward, preserving the before/after record the ISSUE asks for.
+// Per (solver, scale, threads) the harness runs `trials` identical
+// queries on fresh machines and reports best/mean wall seconds,
+// events/sec and tasks/sec (scheduler throughput), plus the
+// simulated-side invariants (sim time, update counts, an FNV-1a checksum
+// over the distance bits) that must stay bit-identical across host-side
+// optimizations — including across `--threads` values: the parallel
+// engine is required to reproduce the serial schedule exactly, and the
+// harness exits 4 if any thread count diverges.  A `pre_pr` object
+// already present in the output file is carried forward, preserving the
+// before/after record the ISSUE asks for.
 
 #include <chrono>
 #include <cinttypes>
@@ -25,6 +29,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -66,11 +71,13 @@ std::uint64_t checksum_distances(const std::vector<graph::Dist>& dist) {
 }
 
 Sample run_one(const std::string& solver, const stats::ExperimentSpec& spec,
-               const graph::Csr& csr, std::uint32_t trials) {
+               const graph::Csr& csr, std::uint32_t trials,
+               unsigned threads) {
   Sample sample;
   sample.wall_best_s = 1e300;
   for (std::uint32_t trial = 0; trial < trials; ++trial) {
     runtime::Machine machine(spec.topology());
+    machine.set_threads(threads);
     sssp::SolverOptions opts;
     const auto start = std::chrono::steady_clock::now();
     const sssp::SolverRun run =
@@ -135,12 +142,16 @@ std::string extract_object(const std::string& text, const std::string& key) {
 }
 
 /// Finds `"events_per_sec": <num>` inside the results entry for
-/// (solver, scale); 0.0 if absent.
+/// (solver, scale, threads); falls back to the pre-threads entry format
+/// (no "threads" field) so old baseline files stay checkable.  0.0 if
+/// absent.
 double find_events_per_sec(const std::string& text, const std::string& solver,
-                           std::uint32_t scale) {
-  const std::string entry_key =
+                           std::uint32_t scale, unsigned threads) {
+  const std::string base_key =
       "\"solver\": \"" + solver + "\", \"scale\": " + std::to_string(scale);
-  const std::size_t at = text.find(entry_key);
+  std::size_t at =
+      text.find(base_key + ", \"threads\": " + std::to_string(threads));
+  if (at == std::string::npos) at = text.find(base_key);
   if (at == std::string::npos) return 0.0;
   const std::string field = "\"events_per_sec\": ";
   const std::size_t f = text.find(field, at);
@@ -165,6 +176,11 @@ int main(int argc, char** argv) {
   const std::string solvers_csv =
       opts.get("solvers", "acic,delta_stepping_dist,kla");
   const std::string out_path = opts.get("out", "BENCH_wallclock.json");
+  std::vector<unsigned> threads_list{1};
+  if (opts.has("threads")) {
+    threads_list =
+        bench::parse_threads_list(opts.get("threads", ""), "threads");
+  }
 
   std::vector<std::string> solvers;
   {
@@ -197,47 +213,87 @@ int main(int argc, char** argv) {
   const std::string pre_pr = extract_object(previous, "pre_pr");
 
   std::string results;
-  std::printf("wallclock: trials=%u nodes=%u solvers=%s\n", trials,
-              base.nodes, solvers_csv.c_str());
+  std::printf("wallclock: trials=%u nodes=%u solvers=%s host_cores=%u\n",
+              trials, base.nodes, solvers_csv.c_str(),
+              std::thread::hardware_concurrency());
   for (const std::uint32_t scale : scales) {
     stats::ExperimentSpec spec = base;
     spec.scale = scale;
+    // Build once per scale with the largest requested thread count: the
+    // chunked generators produce the identical graph at any value.
+    spec.threads = threads_list.back();
     const graph::Csr csr = stats::build_graph(spec);
     std::printf("scale %u: |V|=%u |E|=%llu\n", scale, csr.num_vertices(),
                 static_cast<unsigned long long>(csr.num_edges()));
     for (const std::string& solver : solvers) {
-      const Sample s = run_one(solver, spec, csr, trials);
-      const double events_per_sec =
-          static_cast<double>(s.events) / s.wall_best_s;
-      const double tasks_per_sec =
-          static_cast<double>(s.tasks) / s.wall_best_s;
-      std::printf(
-          "  %-20s wall=%.3fs (best of %u)  %.3gM events/s  "
-          "%.3gM tasks/s  sim=%.0fus  checksum=%016" PRIx64 "\n",
-          solver.c_str(), s.wall_best_s, trials, events_per_sec * 1e-6,
-          tasks_per_sec * 1e-6, s.sim_time_us, s.dist_checksum);
-      std::fflush(stdout);
+      double wall_1thread = -1.0;
+      Sample reference;
+      bool have_reference = false;
+      for (const unsigned threads : threads_list) {
+        const Sample s = run_one(solver, spec, csr, trials, threads);
+        if (!have_reference) {
+          reference = s;
+          have_reference = true;
+        } else if (s.dist_checksum != reference.dist_checksum ||
+                   s.sim_time_us != reference.sim_time_us ||
+                   s.tasks != reference.tasks) {
+          std::fprintf(stderr,
+                       "wallclock: %s diverged at %u threads "
+                       "(checksum %016" PRIx64 " vs %016" PRIx64
+                       ", sim %.6f vs %.6f)\n",
+                       solver.c_str(), threads, s.dist_checksum,
+                       reference.dist_checksum, s.sim_time_us,
+                       reference.sim_time_us);
+          std::exit(4);
+        }
+        if (threads == 1) wall_1thread = s.wall_best_s;
+        // Speedup is only meaningful when the sweep includes a 1-thread
+        // reference (e.g. the scale-22 CI step runs --threads 4 alone).
+        char speedup_text[32];
+        char speedup_json[32];
+        if (wall_1thread > 0.0) {
+          const double speedup = wall_1thread / s.wall_best_s;
+          std::snprintf(speedup_text, sizeof(speedup_text), "%.2f", speedup);
+          std::snprintf(speedup_json, sizeof(speedup_json), "%.3f", speedup);
+        } else {
+          std::snprintf(speedup_text, sizeof(speedup_text), "n/a");
+          std::snprintf(speedup_json, sizeof(speedup_json), "null");
+        }
+        const double events_per_sec =
+            static_cast<double>(s.events) / s.wall_best_s;
+        const double tasks_per_sec =
+            static_cast<double>(s.tasks) / s.wall_best_s;
+        std::printf(
+            "  %-20s t=%-2u wall=%.3fs (best of %u)  %.3gM events/s  "
+            "%.3gM tasks/s  speedup=%s  sim=%.0fus  "
+            "checksum=%016" PRIx64 "\n",
+            solver.c_str(), threads, s.wall_best_s, trials,
+            events_per_sec * 1e-6, tasks_per_sec * 1e-6, speedup_text,
+            s.sim_time_us, s.dist_checksum);
+        std::fflush(stdout);
 
-      char entry[1024];
-      std::snprintf(
-          entry, sizeof(entry),
-          "    {\"solver\": \"%s\", \"scale\": %u, "
-          "\"wall_seconds_best\": %.6f, \"wall_seconds_mean\": %.6f, "
-          "\"events\": %llu, \"tasks\": %llu, \"messages\": %llu, "
-          "\"bytes\": %llu, \"events_per_sec\": %.1f, "
-          "\"tasks_per_sec\": %.1f, \"sim_time_us\": %.6f, "
-          "\"updates_created\": %llu, \"cycles\": %llu, "
-          "\"dist_checksum\": \"%016" PRIx64 "\"}",
-          solver.c_str(), scale, s.wall_best_s, s.wall_mean_s,
-          static_cast<unsigned long long>(s.events),
-          static_cast<unsigned long long>(s.tasks),
-          static_cast<unsigned long long>(s.messages),
-          static_cast<unsigned long long>(s.bytes), events_per_sec,
-          tasks_per_sec, s.sim_time_us,
-          static_cast<unsigned long long>(s.updates_created),
-          static_cast<unsigned long long>(s.cycles), s.dist_checksum);
-      if (!results.empty()) results += ",\n";
-      results += entry;
+        char entry[1024];
+        std::snprintf(
+            entry, sizeof(entry),
+            "    {\"solver\": \"%s\", \"scale\": %u, \"threads\": %u, "
+            "\"wall_seconds_best\": %.6f, \"wall_seconds_mean\": %.6f, "
+            "\"events\": %llu, \"tasks\": %llu, \"messages\": %llu, "
+            "\"bytes\": %llu, \"events_per_sec\": %.1f, "
+            "\"tasks_per_sec\": %.1f, \"speedup_vs_1thread\": %s, "
+            "\"sim_time_us\": %.6f, "
+            "\"updates_created\": %llu, \"cycles\": %llu, "
+            "\"dist_checksum\": \"%016" PRIx64 "\"}",
+            solver.c_str(), scale, threads, s.wall_best_s, s.wall_mean_s,
+            static_cast<unsigned long long>(s.events),
+            static_cast<unsigned long long>(s.tasks),
+            static_cast<unsigned long long>(s.messages),
+            static_cast<unsigned long long>(s.bytes), events_per_sec,
+            tasks_per_sec, speedup_json, s.sim_time_us,
+            static_cast<unsigned long long>(s.updates_created),
+            static_cast<unsigned long long>(s.cycles), s.dist_checksum);
+        if (!results.empty()) results += ",\n";
+        results += entry;
+      }
     }
   }
 
@@ -246,6 +302,8 @@ int main(int argc, char** argv) {
   json += "  \"nodes\": " + std::to_string(base.nodes) + ",\n";
   json += "  \"edge_factor\": " + std::to_string(base.edge_factor) + ",\n";
   json += "  \"seed\": " + std::to_string(base.seed) + ",\n";
+  json += "  \"host_cores\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
   if (!pre_pr.empty()) json += "  \"pre_pr\": " + pre_pr + ",\n";
   json += "  \"results\": [\n" + results + "\n  ]\n}\n";
 
@@ -260,9 +318,12 @@ int main(int argc, char** argv) {
     }
     const std::string solver = opts.get("check-solver", "acic");
     const std::uint32_t scale = scales.front();
+    const unsigned check_threads = threads_list.front();
     const double tolerance = opts.get_double("max-regress", 0.25);
-    const double before = find_events_per_sec(baseline, solver, scale);
-    const double after = find_events_per_sec(json, solver, scale);
+    const double before =
+        find_events_per_sec(baseline, solver, scale, check_threads);
+    const double after =
+        find_events_per_sec(json, solver, scale, check_threads);
     if (before > 0.0 && after < before * (1.0 - tolerance)) {
       std::fprintf(stderr,
                    "wallclock: %s events/sec regressed %.1f%% at scale %u "

@@ -59,6 +59,12 @@ struct PeState {
   std::uint64_t touched = 0;
   std::uint64_t settled_delta = 0;
 
+  // Phase counters, kept per PE (under the parallel engine each node's
+  // PEs run on their own shard) and folded into the result after run().
+  std::uint64_t light_phases = 0;
+  std::uint64_t heavy_phases = 0;
+  std::uint64_t bf_sweeps = 0;
+
   DeltaCmd mode = DeltaCmd::kLight;
   std::uint64_t current_bucket = 0;
   bool done = false;
@@ -116,9 +122,6 @@ class Delta2DEngine {
 
     DeltaRunResult result;
     result.hit_time_limit = stats.hit_time_limit;
-    result.light_phases = light_phases_;
-    result.heavy_phases = heavy_phases_;
-    result.bf_sweeps = bf_sweeps_;
     result.barrier_rounds = reducer_->cycles_completed();
     result.buckets_processed = controller_.buckets_processed();
     result.switched_to_bf = controller_.switched_to_bf();
@@ -131,6 +134,9 @@ class Delta2DEngine {
       result.sssp.metrics.updates_processed += state.processed;
       result.sssp.metrics.updates_rejected += state.rejected;
       result.sssp.metrics.vertices_touched += state.touched;
+      result.light_phases += state.light_phases;
+      result.heavy_phases += state.heavy_phases;
+      result.bf_sweeps += state.bf_sweeps;
     }
     result.sssp.metrics.network_messages = stats.messages_sent;
     result.sssp.metrics.network_bytes = stats.bytes_sent;
@@ -258,8 +264,8 @@ class Delta2DEngine {
   // ---- phase work ---------------------------------------------------------
 
   void do_light(Pe& pe, std::uint64_t b) {
-    ++light_phases_;
     PeState& state = pes_[pe.id()];
+    ++state.light_phases;
     std::vector<Update> frontier;
     if (b < state.buckets.size()) {
       std::vector<VertexId> entries;
@@ -281,8 +287,8 @@ class Delta2DEngine {
   }
 
   void do_heavy(Pe& pe) {
-    ++heavy_phases_;
     PeState& state = pes_[pe.id()];
+    ++state.heavy_phases;
     std::vector<Update> frontier;
     frontier.reserve(state.settled.size());
     for (const VertexId v : state.settled) {
@@ -295,8 +301,8 @@ class Delta2DEngine {
   }
 
   void do_bellman(Pe& pe) {
-    ++bf_sweeps_;
     PeState& state = pes_[pe.id()];
+    ++state.bf_sweeps;
     if (state.mode != DeltaCmd::kBellman) {
       state.mode = DeltaCmd::kBellman;
       for (auto& bucket : state.buckets) {
@@ -466,10 +472,6 @@ class Delta2DEngine {
   bool drained_armed_ = false;
   double last_sent_ = -1.0;
   double pending_settled_ = 0.0;
-
-  std::uint64_t light_phases_ = 0;
-  std::uint64_t heavy_phases_ = 0;
-  std::uint64_t bf_sweeps_ = 0;
 };
 
 }  // namespace

@@ -57,6 +57,12 @@ struct PeState {
   std::uint64_t touched = 0;
   std::uint64_t settled_delta = 0;
 
+  // Phase counters, kept per PE (under the parallel engine each node's
+  // PEs run on their own shard) and folded into the result after run().
+  std::uint64_t light_phases = 0;
+  std::uint64_t heavy_phases = 0;
+  std::uint64_t bf_sweeps = 0;
+
   DeltaCmd mode = DeltaCmd::kLight;
   std::uint64_t current_bucket = 0;
   bool done = false;
@@ -119,9 +125,6 @@ class DeltaEngine {
 
     DeltaRunResult result;
     result.hit_time_limit = stats.hit_time_limit;
-    result.light_phases = light_phases_;
-    result.heavy_phases = heavy_phases_;
-    result.bf_sweeps = bf_sweeps_;
     result.barrier_rounds = reducer_->cycles_completed();
     result.buckets_processed = controller_.buckets_processed();
     result.switched_to_bf = controller_.switched_to_bf();
@@ -134,6 +137,9 @@ class DeltaEngine {
       result.sssp.metrics.updates_processed += state.recv;
       result.sssp.metrics.updates_rejected += state.rejected;
       result.sssp.metrics.vertices_touched += state.touched;
+      result.light_phases += state.light_phases;
+      result.heavy_phases += state.heavy_phases;
+      result.bf_sweeps += state.bf_sweeps;
     }
     result.sssp.metrics.network_messages = stats.messages_sent;
     result.sssp.metrics.network_bytes = stats.bytes_sent;
@@ -205,8 +211,8 @@ class DeltaEngine {
   /// Light-edge subphase of bucket `b`: drain the local bucket list,
   /// relaxing light out-edges of every vertex that truly belongs to `b`.
   void do_light(Pe& pe, std::uint64_t b) {
-    ++light_phases_;
     PeState& state = pes_[pe.id()];
+    ++state.light_phases;
     if (b >= state.buckets.size()) return;
     std::vector<VertexId> frontier;
     frontier.swap(state.buckets[b]);
@@ -235,8 +241,8 @@ class DeltaEngine {
   /// Heavy-edge phase: relax heavy out-edges of every vertex settled in
   /// the current bucket, then reset the settled set.
   void do_heavy(Pe& pe) {
-    ++heavy_phases_;
     PeState& state = pes_[pe.id()];
+    ++state.heavy_phases;
     for (const VertexId v : state.settled) {
       const VertexId local = v - state.first;
       state.in_settled[local] = false;
@@ -253,8 +259,8 @@ class DeltaEngine {
   /// dirty vertex.  On the first sweep, migrate any still-bucketed
   /// vertices into the dirty list.
   void do_bellman(Pe& pe) {
-    ++bf_sweeps_;
     PeState& state = pes_[pe.id()];
+    ++state.bf_sweeps;
     if (state.mode != DeltaCmd::kBellman) {
       state.mode = DeltaCmd::kBellman;
       for (auto& bucket : state.buckets) {
@@ -439,10 +445,6 @@ class DeltaEngine {
   bool drained_armed_ = false;
   double last_sent_ = -1.0;
   double pending_settled_ = 0.0;
-
-  std::uint64_t light_phases_ = 0;
-  std::uint64_t heavy_phases_ = 0;
-  std::uint64_t bf_sweeps_ = 0;
 };
 
 }  // namespace

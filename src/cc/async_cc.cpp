@@ -47,6 +47,9 @@ struct PeState {
   std::uint64_t created = 0;
   std::uint64_t processed = 0;
   std::uint64_t rejected = 0;
+  /// Reusable hold-release scratch (per-PE: broadcasts on different
+  /// nodes run concurrently under the parallel engine).
+  std::vector<sssp::Update> release_scratch;
   bool terminated = false;
 };
 
@@ -256,9 +259,10 @@ class AsyncCcEngine {
             return;
           }
           state.t_pq = static_cast<std::size_t>(payload[0]);
-          release_buffer_.clear();
-          state.pq_hold.release_up_to(state.t_pq, &release_buffer_);
-          for (const sssp::Update& u : release_buffer_) {
+          std::vector<sssp::Update>& release_buffer = state.release_scratch;
+          release_buffer.clear();
+          state.pq_hold.release_up_to(state.t_pq, &release_buffer);
+          for (const sssp::Update& u : release_buffer) {
             pe.charge(config_.costs.pq_op_us);
             state.pq.push(LabelUpdate{
                 u.vertex, static_cast<VertexId>(u.dist)});
@@ -284,7 +288,6 @@ class AsyncCcEngine {
 
   bool armed_ = false;
   double last_created_ = -1.0;
-  std::vector<sssp::Update> release_buffer_;
 };
 
 }  // namespace

@@ -91,6 +91,10 @@ struct PeState {
 
   /// Reusable contribution payload (histogram counts + 3 scalars).
   std::vector<double> payload_scratch;
+  /// Reusable hold-release scratch for on_broadcast (per-PE, not shared:
+  /// under the parallel engine broadcasts on different nodes run
+  /// concurrently).
+  std::vector<Update> release_scratch;
 
   bool terminated = false;
 };
@@ -160,6 +164,9 @@ class AcicEngine::Impl {
     tram_ = std::make_unique<UpdateTram>(machine_, config_.tram,
                                          Deliver{this});
 
+    node_term_.resize(machine_.topology().nodes);
+    pes_per_node_ = machine_.num_pes() / machine_.topology().nodes;
+
     build_reducer();
 
     steal_queues_.resize(machine_.topology().num_procs());
@@ -194,7 +201,9 @@ class AcicEngine::Impl {
     }
   }
 
-  bool complete() const { return terminated_pes_ == machine_.num_pes(); }
+  bool complete() const {
+    return nodes_done_ == machine_.topology().nodes;
+  }
   VertexId source() const { return source_; }
 
   AcicRunResult collect() const {
@@ -620,13 +629,22 @@ class AcicEngine::Impl {
     if (payload[2] != 0.0) {
       state.terminated = true;
       abandon_remaining(state);
-      // The last PE to retire completes the query.  At this point the
+      // Retirement counting is per simulated node (each node owns its
+      // own counter — under the parallel engine PEs of different nodes
+      // retire concurrently).  The last PE of each node reports "node
+      // done" to PE 0 with an ordinary message; PE 0 counts nodes and
+      // completes the query when the last report lands.  By then the
       // created == processed quiescence means no update message still
       // references this engine, so the owner may schedule retirement
       // (in a *separate* task — our frames are on the stack here).
-      ++terminated_pes_;
-      if (terminated_pes_ == machine_.num_pes() && options_.on_complete) {
-        options_.on_complete(pe);
+      const std::uint32_t node = machine_.topology().node_of(pe.id());
+      if (++node_term_[node].terminated == pes_per_node_) {
+        pe.send(0, 8, [this](Pe& root) {
+          if (++nodes_done_ == machine_.topology().nodes &&
+              options_.on_complete) {
+            options_.on_complete(root);
+          }
+        });
       }
       return;
     }
@@ -634,13 +652,14 @@ class AcicEngine::Impl {
     state.t_pq = static_cast<std::size_t>(payload[1]);
     state.lowest_active_bucket = static_cast<std::size_t>(payload[3]);
 
-    release_buffer_.clear();
-    state.tram_hold.release_up_to(state.t_tram, &release_buffer_);
-    if (config_.registry != nullptr && !release_buffer_.empty()) {
+    std::vector<Update>& release_buffer = state.release_scratch;
+    release_buffer.clear();
+    state.tram_hold.release_up_to(state.t_tram, &release_buffer);
+    if (config_.registry != nullptr && !release_buffer.empty()) {
       config_.registry->add(obs_released_tram_, pe.id(),
-                            release_buffer_.size(), pe.now());
+                            release_buffer.size(), pe.now());
     }
-    for (const Update& u : release_buffer_) {
+    for (const Update& u : release_buffer) {
       // Held updates dropped their bucket (the holds store the wire
       // pair); recompute it once here — releases are per-broadcast, not
       // per-update, so the divide is cold.
@@ -651,13 +670,13 @@ class AcicEngine::Impl {
                               u.dist});
     }
 
-    release_buffer_.clear();
-    state.pq_hold.release_up_to(state.t_pq, &release_buffer_);
-    if (config_.registry != nullptr && !release_buffer_.empty()) {
+    release_buffer.clear();
+    state.pq_hold.release_up_to(state.t_pq, &release_buffer);
+    if (config_.registry != nullptr && !release_buffer.empty()) {
       config_.registry->add(obs_released_pq_, pe.id(),
-                            release_buffer_.size(), pe.now());
+                            release_buffer.size(), pe.now());
     }
-    for (const Update& u : release_buffer_) {
+    for (const Update& u : release_buffer) {
       pe.charge(config_.costs.pq_op_us);
       state.pq.push(UpdateMsg{u.vertex,
                               static_cast<std::uint32_t>(
@@ -683,7 +702,16 @@ class AcicEngine::Impl {
 
   std::vector<PeState> pes_;
   std::vector<runtime::IdleHandlerId> idle_handler_ids_;
-  std::uint32_t terminated_pes_ = 0;
+  /// Per-node retirement counters (cache-line padded: each node's PEs
+  /// retire on their own shard under the parallel engine).
+  struct alignas(64) NodeTermination {
+    std::uint32_t terminated = 0;
+  };
+  std::vector<NodeTermination> node_term_;
+  std::uint32_t pes_per_node_ = 0;
+  /// Nodes whose "node done" report has reached PE 0.  Written only by
+  /// PE 0's tasks; read by complete() after run() returns.
+  std::uint32_t nodes_done_ = 0;
   std::unique_ptr<UpdateTram> tram_;
   std::unique_ptr<runtime::Reducer> reducer_;
 
@@ -692,7 +720,6 @@ class AcicEngine::Impl {
   double root_last_created_ = -1.0;
 
   std::vector<HistogramSnapshot> snapshots_;
-  std::vector<Update> release_buffer_;
 
   // Registry handles; valid iff config_.registry != nullptr.
   obs::SeriesId obs_t_tram_;

@@ -1,44 +1,108 @@
 #include "src/graph/csr.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "src/util/assert.hpp"
+#include "src/util/parallel.hpp"
 
 namespace acic::graph {
 
-Csr Csr::from_edge_list(const EdgeList& list) {
+namespace {
+
+/// Edges (for count/fill) and vertices (for row sorts) are handed to
+/// host threads in blocks of this size.
+constexpr std::size_t kBlock = std::size_t{1} << 16;
+
+bool neighbor_less(const Neighbor& a, const Neighbor& b) {
+  if (a.dst != b.dst) return a.dst < b.dst;
+  return a.weight < b.weight;
+}
+
+}  // namespace
+
+Csr Csr::from_edge_list(const EdgeList& list, unsigned threads) {
   ACIC_ASSERT_MSG(list.endpoints_in_range(),
                   "edge endpoints must be < num_vertices");
   const VertexId n = list.num_vertices();
   Csr csr;
   csr.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
 
-  for (const Edge& e : list.edges()) {
-    ++csr.offsets_[e.src + 1];
+  if (threads <= 1) {
+    for (const Edge& e : list.edges()) {
+      ++csr.offsets_[e.src + 1];
+    }
+    for (std::size_t v = 1; v <= n; ++v) {
+      csr.offsets_[v] += csr.offsets_[v - 1];
+    }
+
+    csr.neighbors_.resize(list.num_edges());
+    std::vector<std::size_t> cursor(csr.offsets_.begin(),
+                                    csr.offsets_.end() - 1);
+    for (const Edge& e : list.edges()) {
+      csr.neighbors_[cursor[e.src]++] = Neighbor{e.dst, e.weight};
+    }
+
+    // Sort each adjacency row by destination for deterministic traversal
+    // order regardless of how the generator emitted edges.
+    for (VertexId v = 0; v < n; ++v) {
+      auto row = std::span<Neighbor>{
+          csr.neighbors_.data() + csr.offsets_[v],
+          csr.offsets_[v + 1] - csr.offsets_[v]};
+      std::sort(row.begin(), row.end(), neighbor_less);
+    }
+    return csr;
   }
-  for (std::size_t v = 1; v <= n; ++v) {
-    csr.offsets_[v] += csr.offsets_[v - 1];
+
+  // Parallel build: atomic per-vertex counts, serial prefix sum, then a
+  // fill through per-vertex atomic cursors.  The fill places a row's
+  // neighbors in a thread-dependent order, but the per-row (dst, weight)
+  // sort below restores a canonical order — duplicates that tie on both
+  // fields are identical values — so the CSR matches the serial build
+  // byte for byte.
+  const std::span<const Edge> edges = list.edges();
+  const std::size_t num_edge_blocks = (edges.size() + kBlock - 1) / kBlock;
+  std::unique_ptr<std::atomic<std::size_t>[]> cursor(
+      new std::atomic<std::size_t>[n]());
+  util::parallel_for(num_edge_blocks, threads, [&](std::uint64_t b) {
+    const std::size_t first = b * kBlock;
+    const std::size_t last = std::min(first + kBlock, edges.size());
+    for (std::size_t i = first; i < last; ++i) {
+      cursor[edges[i].src].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (std::size_t v = 0; v < n; ++v) {
+    csr.offsets_[v + 1] =
+        csr.offsets_[v] + cursor[v].load(std::memory_order_relaxed);
+    cursor[v].store(csr.offsets_[v], std::memory_order_relaxed);
   }
 
   csr.neighbors_.resize(list.num_edges());
-  std::vector<std::size_t> cursor(csr.offsets_.begin(),
-                                  csr.offsets_.end() - 1);
-  for (const Edge& e : list.edges()) {
-    csr.neighbors_[cursor[e.src]++] = Neighbor{e.dst, e.weight};
-  }
+  util::parallel_for(num_edge_blocks, threads, [&](std::uint64_t b) {
+    const std::size_t first = b * kBlock;
+    const std::size_t last = std::min(first + kBlock, edges.size());
+    for (std::size_t i = first; i < last; ++i) {
+      const Edge& e = edges[i];
+      const std::size_t slot =
+          cursor[e.src].fetch_add(1, std::memory_order_relaxed);
+      csr.neighbors_[slot] = Neighbor{e.dst, e.weight};
+    }
+  });
 
-  // Sort each adjacency row by destination for deterministic traversal
-  // order regardless of how the generator emitted edges.
-  for (VertexId v = 0; v < n; ++v) {
-    auto row = std::span<Neighbor>{
-        csr.neighbors_.data() + csr.offsets_[v],
-        csr.offsets_[v + 1] - csr.offsets_[v]};
-    std::sort(row.begin(), row.end(),
-              [](const Neighbor& a, const Neighbor& b) {
-                if (a.dst != b.dst) return a.dst < b.dst;
-                return a.weight < b.weight;
-              });
-  }
+  const std::size_t num_row_blocks =
+      (static_cast<std::size_t>(n) + kBlock - 1) / kBlock;
+  util::parallel_for(num_row_blocks, threads, [&](std::uint64_t b) {
+    const VertexId first = static_cast<VertexId>(b * kBlock);
+    const VertexId last = static_cast<VertexId>(
+        std::min<std::size_t>((b + 1) * kBlock, n));
+    for (VertexId v = first; v < last; ++v) {
+      std::sort(csr.neighbors_.begin() + csr.offsets_[v],
+                csr.neighbors_.begin() + csr.offsets_[v + 1],
+                neighbor_less);
+    }
+  });
   return csr;
 }
 

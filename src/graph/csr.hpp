@@ -18,8 +18,11 @@ class Csr {
   Csr() = default;
 
   /// Builds CSR from an edge list by counting sort on the source vertex;
-  /// the input does not need to be pre-sorted.
-  static Csr from_edge_list(const EdgeList& list);
+  /// the input does not need to be pre-sorted.  With threads > 1 the
+  /// count, fill and per-row sorts run on host threads; rows end up
+  /// sorted by (dst, weight) either way, so the CSR is byte-identical to
+  /// the serial build at any thread count.
+  static Csr from_edge_list(const EdgeList& list, unsigned threads = 1);
 
   VertexId num_vertices() const {
     return offsets_.empty() ? 0

@@ -2,14 +2,46 @@
 
 #include <algorithm>
 
+#include "src/util/parallel.hpp"
+
 namespace acic::graph {
 
-void EdgeList::sort_by_source() {
-  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
-    if (a.src != b.src) return a.src < b.src;
-    if (a.dst != b.dst) return a.dst < b.dst;
-    return a.weight < b.weight;
+namespace {
+
+bool edge_less(const Edge& a, const Edge& b) {
+  if (a.src != b.src) return a.src < b.src;
+  if (a.dst != b.dst) return a.dst < b.dst;
+  return a.weight < b.weight;
+}
+
+}  // namespace
+
+void EdgeList::sort_by_source(unsigned threads) {
+  if (threads <= 1 || edges_.size() < 2) {
+    std::sort(edges_.begin(), edges_.end(), edge_less);
+    return;
+  }
+  // Sort contiguous blocks in parallel, then merge pairwise.  Edges that
+  // compare equal are identical values, so the block-merge result is
+  // byte-identical to one big std::sort.
+  const std::size_t num_blocks =
+      std::min<std::size_t>(threads, edges_.size());
+  std::vector<std::size_t> bounds(num_blocks + 1);
+  for (std::size_t b = 0; b <= num_blocks; ++b) {
+    bounds[b] = b * edges_.size() / num_blocks;
+  }
+  util::parallel_for(num_blocks, threads, [&](std::uint64_t b) {
+    std::sort(edges_.begin() + bounds[b], edges_.begin() + bounds[b + 1],
+              edge_less);
   });
+  for (std::size_t width = 1; width < num_blocks; width *= 2) {
+    for (std::size_t b = 0; b + width < num_blocks; b += 2 * width) {
+      const std::size_t mid = bounds[b + width];
+      const std::size_t last = bounds[std::min(b + 2 * width, num_blocks)];
+      std::inplace_merge(edges_.begin() + bounds[b], edges_.begin() + mid,
+                         edges_.begin() + last, edge_less);
+    }
+  }
 }
 
 void EdgeList::remove_self_loops() {

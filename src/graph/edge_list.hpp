@@ -29,7 +29,11 @@ class EdgeList {
 
   /// Sorts edges by (src, dst, weight); required by the CSR builder and by
   /// the paper's artifact convention ("sorted ascending by origin").
-  void sort_by_source();
+  /// With threads > 1, contiguous blocks are sorted on host threads and
+  /// merged; equal keys are identical Edge values, so the result is
+  /// byte-identical to the serial sort.
+  void sort_by_source() { sort_by_source(1); }
+  void sort_by_source(unsigned threads);
 
   /// Removes self-loops (PaRMAT's -noEdgeToSelf).
   void remove_self_loops();

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/util/assert.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
 
 namespace acic::graph {
@@ -12,6 +13,12 @@ namespace {
 
 using util::Xoshiro256;
 using util::derive_seed;
+using util::parallel_for;
+
+/// Edges per generation chunk.  Fixed (not derived from the thread
+/// count) so the chunk → RNG-stream mapping, and therefore the generated
+/// graph, is identical at any GenParams::threads value.
+constexpr std::uint64_t kChunkEdges = 1ull << 16;
 
 /// Number of levels needed so the RMAT recursion addresses every vertex.
 int levels_for(VertexId n) {
@@ -27,7 +34,29 @@ Weight draw_weight(Xoshiro256& rng, const GenParams& p) {
 void finalize(EdgeList& list, const GenParams& p) {
   if (p.remove_self_loops) list.remove_self_loops();
   if (p.remove_duplicates) list.remove_duplicates();
-  list.sort_by_source();
+  list.sort_by_source(p.threads);
+}
+
+/// Runs `emit(structure_rng, weight_rng, slot)` for every edge slot in
+/// [0, num_edges), in parallel over fixed-size chunks.  Chunk c draws
+/// from streams derive_seed(derive_seed(seed, 0|1), c), so every slot's
+/// draws are independent of the thread count.
+template <typename Emit>
+void generate_chunked(const GenParams& params, Emit&& emit) {
+  const std::uint64_t num_chunks =
+      (params.num_edges + kChunkEdges - 1) / kChunkEdges;
+  const std::uint64_t structure_seed = derive_seed(params.seed, 0);
+  const std::uint64_t weight_seed = derive_seed(params.seed, 1);
+  parallel_for(num_chunks, params.threads, [&](std::uint64_t c) {
+    Xoshiro256 structure_rng(derive_seed(structure_seed, c));
+    Xoshiro256 weight_rng(derive_seed(weight_seed, c));
+    const std::uint64_t first = c * kChunkEdges;
+    const std::uint64_t last =
+        std::min(first + kChunkEdges, params.num_edges);
+    for (std::uint64_t i = first; i < last; ++i) {
+      emit(structure_rng, weight_rng, i);
+    }
+  });
 }
 
 }  // namespace
@@ -37,66 +66,73 @@ EdgeList generate_rmat(const GenParams& params, const RmatParams& rmat) {
   const double d = 1.0 - rmat.a - rmat.b - rmat.c;
   ACIC_ASSERT_MSG(d > 0.0, "RMAT probabilities must sum below 1");
 
-  Xoshiro256 structure_rng(derive_seed(params.seed, 0));
-  Xoshiro256 weight_rng(derive_seed(params.seed, 1));
-
   const int levels = levels_for(params.num_vertices);
-  EdgeList list(params.num_vertices, {});
-  list.reserve(params.num_edges);
+  std::vector<Edge> edges(params.num_edges);
 
-  for (std::uint64_t i = 0; i < params.num_edges; ++i) {
-    VertexId src = 0;
-    VertexId dst = 0;
-    for (int level = 0; level < levels; ++level) {
-      // Jitter the quadrant probabilities per level (PaRMAT-style noise)
-      // so the degree distribution is power-law but not exactly fractal.
-      const double na =
-          rmat.a * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
-      const double nb =
-          rmat.b * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
-      const double nc =
-          rmat.c * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
-      const double nd =
-          d * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
-      const double total = na + nb + nc + nd;
-      const double r = structure_rng.next_double() * total;
-      src <<= 1;
-      dst <<= 1;
-      if (r < na) {
-        // top-left quadrant: no bits set
-      } else if (r < na + nb) {
-        dst |= 1;
-      } else if (r < na + nb + nc) {
-        src |= 1;
-      } else {
-        src |= 1;
-        dst |= 1;
-      }
-    }
-    // When |V| is not a power of two the recursion can address vertices
-    // past the end; fold them back uniformly.
-    if (src >= params.num_vertices) src %= params.num_vertices;
-    if (dst >= params.num_vertices) dst %= params.num_vertices;
-    list.add(src, dst, draw_weight(weight_rng, params));
-  }
+  generate_chunked(
+      params,
+      [&](Xoshiro256& structure_rng, Xoshiro256& weight_rng,
+          std::uint64_t i) {
+        VertexId src = 0;
+        VertexId dst = 0;
+        for (int level = 0; level < levels; ++level) {
+          // Jitter the quadrant probabilities per level (PaRMAT-style
+          // noise) so the degree distribution is power-law but not
+          // exactly fractal.
+          const double na =
+              rmat.a *
+              (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
+          const double nb =
+              rmat.b *
+              (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
+          const double nc =
+              rmat.c *
+              (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
+          const double nd =
+              d * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
+          const double total = na + nb + nc + nd;
+          const double r = structure_rng.next_double() * total;
+          src <<= 1;
+          dst <<= 1;
+          if (r < na) {
+            // top-left quadrant: no bits set
+          } else if (r < na + nb) {
+            dst |= 1;
+          } else if (r < na + nb + nc) {
+            src |= 1;
+          } else {
+            src |= 1;
+            dst |= 1;
+          }
+        }
+        // When |V| is not a power of two the recursion can address
+        // vertices past the end; fold them back uniformly.
+        if (src >= params.num_vertices) src %= params.num_vertices;
+        if (dst >= params.num_vertices) dst %= params.num_vertices;
+        edges[i] = Edge{src, dst, draw_weight(weight_rng, params)};
+      });
+
+  EdgeList list(params.num_vertices, std::move(edges));
   finalize(list, params);
   return list;
 }
 
 EdgeList generate_uniform_random(const GenParams& params) {
   ACIC_ASSERT(params.num_vertices > 0);
-  Xoshiro256 structure_rng(derive_seed(params.seed, 0));
-  Xoshiro256 weight_rng(derive_seed(params.seed, 1));
+  std::vector<Edge> edges(params.num_edges);
 
-  EdgeList list(params.num_vertices, {});
-  list.reserve(params.num_edges);
-  for (std::uint64_t i = 0; i < params.num_edges; ++i) {
-    const auto src =
-        static_cast<VertexId>(structure_rng.next_below(params.num_vertices));
-    const auto dst =
-        static_cast<VertexId>(structure_rng.next_below(params.num_vertices));
-    list.add(src, dst, draw_weight(weight_rng, params));
-  }
+  generate_chunked(
+      params,
+      [&](Xoshiro256& structure_rng, Xoshiro256& weight_rng,
+          std::uint64_t i) {
+        const auto src = static_cast<VertexId>(
+            structure_rng.next_below(params.num_vertices));
+        const auto dst = static_cast<VertexId>(
+            structure_rng.next_below(params.num_vertices));
+        edges[i] = Edge{src, dst, draw_weight(weight_rng, params)};
+      });
+
+  EdgeList list(params.num_vertices, std::move(edges));
   finalize(list, params);
   return list;
 }
@@ -107,13 +143,16 @@ EdgeList generate_erdos_renyi(const GenParams& params) {
   ACIC_ASSERT_MSG(params.num_edges <= n * (n - 1),
                   "G(n, m) requires m <= n*(n-1) distinct directed edges");
 
-  Xoshiro256 structure_rng(derive_seed(params.seed, 0));
-  Xoshiro256 weight_rng(derive_seed(params.seed, 1));
+  const std::uint64_t structure_seed = derive_seed(params.seed, 0);
+  const std::uint64_t weight_seed = derive_seed(params.seed, 1);
 
-  // Rejection-sample distinct (src, dst) pairs.  For the sparse regimes we
-  // target (m << n^2) the expected number of rejections is negligible.
-  std::vector<Edge> edges;
-  edges.reserve(params.num_edges);
+  // Rejection sampling in rounds: each round generates a batch of
+  // candidate edges in parallel (one counter-derived stream per chunk),
+  // then a serial in-order pass deduplicates them.  Candidate content
+  // depends only on the round's chunk indices — which depend only on how
+  // many edges were still missing, itself deterministic — so the result
+  // is identical at any thread count.  For the sparse regimes we target
+  // (m << n^2) the expected number of rejected candidates is negligible.
   auto key = [n](VertexId s, VertexId t) {
     return static_cast<std::uint64_t>(s) * n + t;
   };
@@ -125,15 +164,40 @@ EdgeList generate_erdos_renyi(const GenParams& params) {
   };
   std::unordered_set<std::uint64_t, Hash> used;
   used.reserve(params.num_edges * 2);
+
+  std::vector<Edge> edges;
+  edges.reserve(params.num_edges);
+  std::vector<Edge> candidates;
+  std::uint64_t next_chunk = 0;
   while (edges.size() < params.num_edges) {
-    const auto src = static_cast<VertexId>(structure_rng.next_below(n));
-    const auto dst = static_cast<VertexId>(structure_rng.next_below(n));
-    if (src == dst) continue;
-    if (!used.insert(key(src, dst)).second) continue;
-    edges.push_back(Edge{src, dst, draw_weight(weight_rng, params)});
+    const std::uint64_t need = params.num_edges - edges.size();
+    const std::uint64_t num_chunks = (need + kChunkEdges - 1) / kChunkEdges;
+    candidates.resize(need);
+    parallel_for(num_chunks, params.threads, [&](std::uint64_t c) {
+      Xoshiro256 structure_rng(
+          derive_seed(structure_seed, next_chunk + c));
+      Xoshiro256 weight_rng(derive_seed(weight_seed, next_chunk + c));
+      const std::uint64_t first = c * kChunkEdges;
+      const std::uint64_t last = std::min(first + kChunkEdges, need);
+      for (std::uint64_t i = first; i < last; ++i) {
+        const auto src =
+            static_cast<VertexId>(structure_rng.next_below(n));
+        const auto dst =
+            static_cast<VertexId>(structure_rng.next_below(n));
+        candidates[i] = Edge{src, dst, draw_weight(weight_rng, params)};
+      }
+    });
+    next_chunk += num_chunks;
+    for (const Edge& e : candidates) {
+      if (edges.size() == params.num_edges) break;
+      if (e.src == e.dst) continue;
+      if (!used.insert(key(e.src, e.dst)).second) continue;
+      edges.push_back(e);
+    }
   }
+
   EdgeList list(params.num_vertices, std::move(edges));
-  list.sort_by_source();
+  list.sort_by_source(params.threads);
   return list;
 }
 

@@ -15,6 +15,12 @@
 // weights draw from independent RNG streams so the same topology can be
 // re-weighted by changing only the weight seed, matching the paper's
 // per-trial reseeding protocol.
+//
+// Generation is chunked: every fixed-size chunk of edges draws from its
+// own counter-derived RNG stream (derive_seed(stream_seed, chunk)), and
+// chunks write into pre-assigned output slots.  The output is therefore
+// identical at ANY GenParams::threads value, including 1 — thread count
+// is a speed knob, never a workload knob.
 
 #include <cstdint>
 
@@ -32,6 +38,9 @@ struct GenParams {
   Weight max_weight = 256.0;
   bool remove_self_loops = true;   // PaRMAT -noEdgeToSelf
   bool remove_duplicates = false;  // PaRMAT -noDuplicateEdges
+  /// Host threads used to generate and sort the edge list.  Does not
+  /// affect the generated graph (see the chunking note above).
+  unsigned threads = 1;
 };
 
 /// RMAT recursive-matrix parameters (defaults are the Graph500 values the

@@ -52,18 +52,25 @@ Reducer::Reducer(Machine& machine, std::size_t width, RootHandler on_root,
   ACIC_ASSERT_MSG(ops_.size() == width_, "one ReduceOp per payload slot");
   all_sum_ = std::all_of(ops_.begin(), ops_.end(),
                          [](ReduceOp op) { return op == ReduceOp::kSum; });
+  pools_.resize(machine_.topology().nodes);
+  node_of_.resize(machine_.num_pes());
+  for (PeId p = 0; p < machine_.num_pes(); ++p) {
+    node_of_[p] = machine_.topology().node_of(p);
+  }
 }
 
-std::vector<double> Reducer::acquire_payload() {
-  if (payload_pool_.empty()) return {};
-  std::vector<double> v = std::move(payload_pool_.back());
-  payload_pool_.pop_back();
+std::vector<double> Reducer::acquire_payload(const Pe& pe) {
+  auto& pool = pools_[node_of_[pe.id()]].pool;
+  if (pool.empty()) return {};
+  std::vector<double> v = std::move(pool.back());
+  pool.pop_back();
   return v;
 }
 
-void Reducer::recycle_payload(std::vector<double>&& v) {
-  if (payload_pool_.size() >= 64 || v.capacity() < width_) return;
-  payload_pool_.push_back(std::move(v));
+void Reducer::recycle_payload(const Pe& pe, std::vector<double>&& v) {
+  auto& pool = pools_[node_of_[pe.id()]].pool;
+  if (pool.size() >= 64 || v.capacity() < width_) return;
+  pool.push_back(std::move(v));
 }
 
 std::uint32_t Reducer::num_children(PeId pe) const {
@@ -87,7 +94,7 @@ void Reducer::absorb(Pe& pe, std::uint64_t cycle,
   NodeState& node = nodes_[pe.id()];
   PendingCycle& pending = node.pending[cycle];
   if (pending.sum.empty()) {
-    pending.sum = acquire_payload();
+    pending.sum = acquire_payload(pe);
     pending.sum.resize(width_);
     for (std::size_t i = 0; i < width_; ++i) {
       pending.sum[i] = identity_for(ops_[i]);
@@ -124,7 +131,7 @@ void Reducer::forward_or_finish(Pe& pe, std::uint64_t cycle) {
     ++cycles_completed_;
     const std::optional<std::vector<double>> payload =
         on_root_(pe, cycle, sum);
-    recycle_payload(std::move(sum));
+    recycle_payload(pe, std::move(sum));
     if (payload.has_value()) {
       broadcast_down(pe, cycle, *payload);
     }
@@ -135,7 +142,7 @@ void Reducer::forward_or_finish(Pe& pe, std::uint64_t cycle) {
   pe.send(parent, payload_bytes(),
           [this, cycle, sum = std::move(sum)](Pe& parent_pe) mutable {
             absorb(parent_pe, cycle, sum);
-            recycle_payload(std::move(sum));
+            recycle_payload(parent_pe, std::move(sum));
           });
 }
 

@@ -94,9 +94,12 @@ class Reducer {
   /// Pooled payload backing stores: partial-sum vectors cycle through
   /// the tree once per reduction per node, so recycling them keeps the
   /// steady state allocation-free (ACIC reduces every few hundred
-  /// microseconds of simulated time with 515-slot payloads).
-  std::vector<double> acquire_payload();
-  void recycle_payload(std::vector<double>&& v);
+  /// microseconds of simulated time with 515-slot payloads).  Pools are
+  /// sharded per simulated node (cache-line padded) so the parallel
+  /// engine's shards never contend; a payload that crosses nodes simply
+  /// migrates from the sender's pool to the receiver's.
+  std::vector<double> acquire_payload(const Pe& pe);
+  void recycle_payload(const Pe& pe, std::vector<double>&& v);
 
   Machine& machine_;
   std::size_t width_;
@@ -106,7 +109,11 @@ class Reducer {
   std::vector<ReduceOp> ops_;
   bool all_sum_ = false;  // every slot is kSum: combine is a flat += loop
   std::vector<NodeState> nodes_;
-  std::vector<std::vector<double>> payload_pool_;
+  struct alignas(64) NodePool {
+    std::vector<std::vector<double>> pool;
+  };
+  std::vector<NodePool> pools_;           // one per simulated node
+  std::vector<std::uint32_t> node_of_;    // PeId -> simulated node
   SimTime combine_cost_us_per_element_ = 0.002;
   std::uint64_t cycles_completed_ = 0;
 };

@@ -1,12 +1,52 @@
 #include "src/runtime/machine.hpp"
 
 #include <algorithm>
+#include <barrier>
+#include <thread>
 #include <utility>
 
 #include "src/obs/registry.hpp"
 #include "src/util/assert.hpp"
 
 namespace acic::runtime {
+
+/// A cross-node arrival buffered in its sending shard's outbox until the
+/// window barrier.  Carries the seq the sender already assigned, so the
+/// receiving heap's comparator alone decides the merge order —
+/// (timestamp, src node, per-node sequence), independent of which host
+/// thread drained which mailbox first.
+struct Machine::Mail {
+  SimTime time;
+  std::uint64_t seq;
+  PeId pe;
+  bool charge_recv;
+  Task task;
+};
+
+/// One simulated node's slice of the event loop during a parallel run:
+/// its own 4-ary heap, slot store, outgoing mailboxes and stat deltas.
+/// A shard is touched only by the host thread it is assigned to, except
+/// for `outbox[d]`, which the thread owning shard d drains strictly
+/// after the window barrier.
+struct alignas(64) Machine::Shard {
+  std::uint32_t node = 0;
+  util::DaryHeap<Event, EventOrder> heap;
+  std::vector<Task> slots;
+  std::vector<std::uint32_t> free_slots;
+  /// outbox[d]: arrivals destined to node d, merged at the barrier.
+  std::vector<std::vector<Mail>> outbox;
+  /// Max event time processed on this shard — the shard-local mirror of
+  /// current_time_ (identical inside a task: the executing PE's clock
+  /// is always >= the current event's time on both paths).
+  SimTime now = 0.0;
+  /// End of the current window; cross-node pushes below it would break
+  /// the conservative lookahead (asserted).
+  SimTime window_end = 0.0;
+  RunStats stats;
+  std::int64_t ready_delta = 0;  // folded into ready_tasks_ after the run
+};
+
+thread_local Machine::Shard* Machine::tls_shard_ = nullptr;
 
 void Pe::send(PeId to, std::size_t bytes, Task task) {
   machine_->send(id_, to, bytes, std::move(task));
@@ -21,11 +61,16 @@ void Pe::enqueue_local(Task task) {
 Machine::Machine(Topology topology, NetworkModel network)
     : topology_(topology), network_(network) {
   topology_.validate();
+  ACIC_ASSERT_MSG(topology_.nodes < (1u << 16),
+                  "composite event keys hold the node id in 16 bits");
   pes_.resize(topology_.num_entities());
+  entity_node_.resize(topology_.num_entities());
   for (PeId p = 0; p < topology_.num_entities(); ++p) {
     pes_[p].id_ = p;
     pes_[p].machine_ = this;
+    entity_node_[p] = topology_.node_of(p);
   }
+  node_seq_.resize(topology_.nodes);
   // Steady-state queue depth is a small multiple of the PE count; seed the
   // backing stores so warm-up never reallocates mid-sift.
   const std::size_t hint =
@@ -58,19 +103,29 @@ void Machine::send(PeId from, PeId to, std::size_t bytes, Task task) {
   // The sender pays its per-message overhead now (advancing its clock if
   // it is inside a task), then the message departs.
   sender.charge(network_.send_overhead_us);
-  const SimTime departure =
-      std::max(sender.current_time_, current_time_);
+  Shard* const sh = tls_shard_;
+  // Inside a task the sender's clock always dominates this max (its
+  // clock was set to >= the current event's time before the task ran),
+  // so the shard-local floor and the global one yield the same bits.
+  const SimTime floor_now = sh != nullptr ? sh->now : current_time_;
+  const SimTime departure = std::max(sender.current_time_, floor_now);
   const SimTime arrival = departure + network_.transfer_time(loc, bytes);
 
-  ++messages_sent_;
-  bytes_sent_ += bytes;
-  if (active_stats_ != nullptr) {
-    ++active_stats_->messages_sent;
-    active_stats_->bytes_sent += bytes;
-  }
-  if (registry_ != nullptr) [[unlikely]] {
-    registry_->add(obs_->messages(loc), from, 1, departure);
-    registry_->add(obs_->bytes(loc), from, bytes, departure);
+  if (sh != nullptr) {
+    ACIC_HOT_ASSERT(entity_node_[from] == sh->node);
+    ++sh->stats.messages_sent;
+    sh->stats.bytes_sent += bytes;
+  } else {
+    ++messages_sent_;
+    bytes_sent_ += bytes;
+    if (active_stats_ != nullptr) {
+      ++active_stats_->messages_sent;
+      active_stats_->bytes_sent += bytes;
+    }
+    if (registry_ != nullptr) [[unlikely]] {
+      registry_->add(obs_->messages(loc), from, 1, departure);
+      registry_->add(obs_->bytes(loc), from, bytes, departure);
+    }
   }
 
   // The receiver pays its per-message overhead when it picks the task up
@@ -84,15 +139,6 @@ void Machine::schedule_at(SimTime time, PeId pe, Task task) {
                /*charge_recv=*/false);
 }
 
-void Machine::set_idle_handler(PeId pe, IdleHandler handler) {
-  ACIC_ASSERT(pe < num_entities());
-  ACIC_ASSERT_MSG(pes_[pe].idle_handlers_.empty(),
-                  "an idle handler is already registered on this PE; "
-                  "use add_idle_handler to multiplex (multi-tenant "
-                  "engines must not clobber each other)");
-  add_idle_handler(pe, std::move(handler));
-}
-
 IdleHandlerId Machine::add_idle_handler(PeId pe, IdleHandler handler) {
   ACIC_ASSERT(pe < num_entities());
   ACIC_ASSERT_MSG(!pes_[pe].idle_polling_,
@@ -102,8 +148,8 @@ IdleHandlerId Machine::add_idle_handler(PeId pe, IdleHandler handler) {
   pes_[pe].idle_handlers_.push_back(Pe::IdleEntry{id, std::move(handler)});
   // If the PE is already asleep, poke it so the new handler gets a chance
   // to run; an exec event on an empty queue degrades to an idle poll.
-  ensure_exec_scheduled(pes_[pe],
-                        std::max(current_time_, pes_[pe].avail_time_));
+  const SimTime now = tls_shard_ != nullptr ? tls_shard_->now : current_time_;
+  ensure_exec_scheduled(pes_[pe], std::max(now, pes_[pe].avail_time_));
   return id;
 }
 
@@ -135,22 +181,28 @@ void Machine::set_speed_factor(PeId pe, double factor) {
 }
 
 std::uint32_t Machine::acquire_slot(Task task) {
-  if (!free_slots_.empty()) {
-    const std::uint32_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    task_slots_[slot] = std::move(task);
+  Shard* const sh = tls_shard_;
+  std::vector<Task>& slots = sh != nullptr ? sh->slots : task_slots_;
+  std::vector<std::uint32_t>& free_list =
+      sh != nullptr ? sh->free_slots : free_slots_;
+  if (!free_list.empty()) {
+    const std::uint32_t slot = free_list.back();
+    free_list.pop_back();
+    slots[slot] = std::move(task);
     return slot;
   }
-  const std::uint32_t slot = static_cast<std::uint32_t>(task_slots_.size());
+  const std::uint32_t slot = static_cast<std::uint32_t>(slots.size());
   ACIC_ASSERT_MSG(slot < kNoSlot, "task slot store exceeded 2^30 entries");
-  task_slots_.push_back(std::move(task));
+  slots.push_back(std::move(task));
   return slot;
 }
 
 Task Machine::release_slot(std::uint32_t slot) {
-  Task task = std::move(task_slots_[slot]);
-  task_slots_[slot] = nullptr;
-  free_slots_.push_back(slot);
+  Shard* const sh = tls_shard_;
+  std::vector<Task>& slots = sh != nullptr ? sh->slots : task_slots_;
+  Task task = std::move(slots[slot]);
+  slots[slot] = nullptr;
+  (sh != nullptr ? sh->free_slots : free_slots_).push_back(slot);
   return task;
 }
 
@@ -176,25 +228,62 @@ void Machine::flush_ready_sample() {
 
 void Machine::push_arrival(SimTime time, PeId pe, Task task,
                            bool charge_recv) {
+  Shard* const sh = tls_shard_;
+  if (sh != nullptr) {
+    const std::uint32_t dest = entity_node_[pe];
+    const std::uint64_t seq = next_seq(sh->node);
+    if (dest == sh->node) {
+      const std::uint32_t slot = acquire_slot(std::move(task));
+      sh->heap.push(Event{time, seq, pe,
+                          charge_recv ? (kRecvBit | slot) : slot});
+    } else {
+      // Conservative lookahead: a cross-node arrival must land at or
+      // after the window barrier.  Sends always satisfy this (inter-node
+      // transfer time >= the window width); a cross-node schedule_at
+      // inside the window would be a causality violation.
+      ACIC_ASSERT_MSG(time >= sh->window_end,
+                      "cross-node event scheduled inside the conservative "
+                      "window (use a send, or run with --threads 1)");
+      sh->outbox[dest].push_back(
+          Mail{time, seq, pe, charge_recv, std::move(task)});
+    }
+    return;
+  }
+  const std::uint32_t node = running_ ? current_node_ : entity_node_[pe];
   const std::uint32_t slot = acquire_slot(std::move(task));
-  queue_.push(Event{time, next_seq_++, pe,
+  queue_.push(Event{time, next_seq(node), pe,
                     charge_recv ? (kRecvBit | slot) : slot});
+}
+
+void Machine::push_exec(SimTime time, PeId pe) {
+  Shard* const sh = tls_shard_;
+  if (sh != nullptr) {
+    ACIC_HOT_ASSERT(entity_node_[pe] == sh->node);
+    sh->heap.push(Event{time, next_seq(sh->node), pe, kExecBit | kNoSlot});
+    return;
+  }
+  const std::uint32_t node = running_ ? current_node_ : entity_node_[pe];
+  queue_.push(Event{time, next_seq(node), pe, kExecBit | kNoSlot});
 }
 
 void Machine::ensure_exec_scheduled(Pe& pe, SimTime earliest) {
   if (pe.exec_scheduled_) return;
   pe.exec_scheduled_ = true;
-  queue_.push(Event{std::max(earliest, pe.avail_time_), next_seq_++,
-                    pe.id_, kExecBit | kNoSlot});
+  push_exec(std::max(earliest, pe.avail_time_), pe.id_);
 }
 
 void Machine::handle_arrival(const Event& event) {
   Pe& pe = pes_[event.pe];
   // The queued-task word reuses the event's packing (recv bit + slot).
   pe.fifo_.push_back(event.packed);
-  ++ready_tasks_;
-  if (registry_ != nullptr) [[unlikely]] {
-    note_ready_depth(event.time);
+  Shard* const sh = tls_shard_;
+  if (sh != nullptr) {
+    ++sh->ready_delta;
+  } else {
+    ++ready_tasks_;
+    if (registry_ != nullptr) [[unlikely]] {
+      note_ready_depth(event.time);
+    }
   }
   ensure_exec_scheduled(pe, event.time);
 }
@@ -203,6 +292,7 @@ void Machine::handle_exec(const Event& event) {
   Pe& pe = pes_[event.pe];
   ACIC_ASSERT(pe.exec_scheduled_);
   pe.current_time_ = std::max(event.time, pe.avail_time_);
+  Shard* const sh = tls_shard_;
 
   if (!pe.fifo_.empty()) {
     const std::uint32_t queued = pe.fifo_.pop_front();
@@ -210,11 +300,16 @@ void Machine::handle_exec(const Event& event) {
     // enqueue new arrivals, which can grow (reallocate) the slot store.
     Task task = release_slot(queued & kSlotMask);
     ++pe.tasks_run_;
-    --ready_tasks_;
-    if (active_stats_ != nullptr) ++active_stats_->tasks_executed;
-    if (registry_ != nullptr) [[unlikely]] {
-      registry_->add(obs_->tasks_executed, pe.id_, 1, pe.current_time_);
-      note_ready_depth(pe.current_time_);
+    if (sh != nullptr) {
+      --sh->ready_delta;
+      ++sh->stats.tasks_executed;
+    } else {
+      --ready_tasks_;
+      if (active_stats_ != nullptr) ++active_stats_->tasks_executed;
+      if (registry_ != nullptr) [[unlikely]] {
+        registry_->add(obs_->tasks_executed, pe.id_, 1, pe.current_time_);
+        note_ready_depth(pe.current_time_);
+      }
     }
     const SimTime span_start = pe.current_time_;
     // The receiver's per-message overhead is part of the task's span,
@@ -227,8 +322,7 @@ void Machine::handle_exec(const Event& event) {
     pe.avail_time_ = pe.current_time_;
     // Stay scheduled: either more tasks are queued or the idle handler
     // deserves a poll once this task's simulated time has elapsed.
-    queue_.push(Event{pe.avail_time_, next_seq_++, pe.id_,
-                      kExecBit | kNoSlot});
+    push_exec(pe.avail_time_, pe.id_);
     return;
   }
 
@@ -240,9 +334,13 @@ void Machine::handle_exec(const Event& event) {
   if (!pe.idle_handlers_.empty()) {
     const SimTime span_start = pe.current_time_;
     pe.charge(idle_poll_cost_us_);
-    if (active_stats_ != nullptr) ++active_stats_->idle_polls;
-    if (registry_ != nullptr) [[unlikely]] {
-      registry_->add(obs_->idle_polls, pe.id_, 1, pe.current_time_);
+    if (sh != nullptr) {
+      ++sh->stats.idle_polls;
+    } else {
+      if (active_stats_ != nullptr) ++active_stats_->idle_polls;
+      if (registry_ != nullptr) [[unlikely]] {
+        registry_->add(obs_->idle_polls, pe.id_, 1, pe.current_time_);
+      }
     }
     bool did_work = false;
     pe.idle_polling_ = true;
@@ -262,8 +360,7 @@ void Machine::handle_exec(const Event& event) {
     }
     pe.avail_time_ = pe.current_time_;
     if (did_work || !pe.fifo_.empty()) {
-      queue_.push(Event{pe.avail_time_, next_seq_++, pe.id_,
-                        kExecBit | kNoSlot});
+      push_exec(pe.avail_time_, pe.id_);
       return;
     }
   }
@@ -271,8 +368,13 @@ void Machine::handle_exec(const Event& event) {
 }
 
 RunStats Machine::run(SimTime time_limit) {
+  if (threads_ > 1 && topology_.nodes > 1 && registry_ == nullptr &&
+      !span_hook_ && network_.latency_inter_node_us > 0.0) {
+    return run_parallel(time_limit);
+  }
   RunStats stats;
   active_stats_ = &stats;
+  running_ = true;
   while (!queue_.empty()) {
     if (queue_.top().time > time_limit) {
       stats.hit_time_limit = true;
@@ -283,17 +385,168 @@ RunStats Machine::run(SimTime time_limit) {
     ++events_processed_;
     ++stats.events_processed;
     current_time_ = std::max(current_time_, event.time);
+    // Pushes triggered by this event key on its node — the same node a
+    // parallel shard would key them on.
+    current_node_ = entity_node_[event.pe];
     if (event.is_exec()) {
       handle_exec(event);
     } else {
       handle_arrival(event);
     }
   }
+  running_ = false;
   if (registry_ != nullptr) [[unlikely]] {
     flush_ready_sample();
   }
   stats.end_time_us = current_time_;
   active_stats_ = nullptr;
+  return stats;
+}
+
+RunStats Machine::run_parallel(SimTime time_limit) {
+  const std::uint32_t nodes = topology_.nodes;
+  const unsigned nthreads = std::min<unsigned>(threads_, nodes);
+  // Conservative lookahead: no message crosses nodes in less than the
+  // inter-node wire latency (transfer_time = latency + bytes/bandwidth),
+  // so a window of exactly that width is safe.
+  const SimTime lookahead = network_.latency_inter_node_us;
+
+  std::vector<Shard> shards(nodes);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    shards[n].node = n;
+    shards[n].now = current_time_;
+    shards[n].outbox.resize(nodes);
+  }
+  // Redistribute the global heap into the per-node shards, migrating
+  // parked tasks into each shard's own slot store.  Insertion order is
+  // irrelevant: the comparator is a total order, so every heap pops the
+  // same sequence regardless of how it was filled.
+  while (!queue_.empty()) {
+    const Event e = queue_.top();
+    queue_.pop();
+    Shard& sh = shards[entity_node_[e.pe]];
+    if (e.is_exec()) {
+      sh.heap.push(e);
+      continue;
+    }
+    Task task = release_slot(e.slot());
+    tls_shard_ = &sh;
+    const std::uint32_t slot = acquire_slot(std::move(task));
+    tls_shard_ = nullptr;
+    sh.heap.push(Event{e.time, e.seq, e.pe, (e.packed & kRecvBit) | slot});
+  }
+
+  // Published per-thread heap minima, re-read by every thread after the
+  // barrier to agree on the window start.
+  struct alignas(64) PublishedMin {
+    SimTime value = kNoTimeLimit;
+  };
+  std::vector<PublishedMin> mins(nthreads);
+  std::barrier<> window_barrier(static_cast<std::ptrdiff_t>(nthreads));
+  bool hit_limit = false;  // written by thread 0 only, read after join
+
+  auto worker = [&](unsigned tid) {
+    const std::uint32_t lo = tid * nodes / nthreads;
+    const std::uint32_t hi = (tid + 1) * nodes / nthreads;
+    for (;;) {
+      SimTime local_min = kNoTimeLimit;
+      for (std::uint32_t s = lo; s < hi; ++s) {
+        if (!shards[s].heap.empty()) {
+          local_min = std::min(local_min, shards[s].heap.top().time);
+        }
+      }
+      mins[tid].value = local_min;
+      window_barrier.arrive_and_wait();
+      SimTime window_start = kNoTimeLimit;
+      for (unsigned t = 0; t < nthreads; ++t) {
+        window_start = std::min(window_start, mins[t].value);
+      }
+      // Every thread computes the same window, so all break together;
+      // mailboxes are empty here (drained at the previous barrier).
+      if (window_start == kNoTimeLimit || window_start > time_limit) {
+        if (tid == 0) hit_limit = window_start != kNoTimeLimit;
+        break;
+      }
+      const SimTime window_end = window_start + lookahead;
+      for (std::uint32_t s = lo; s < hi; ++s) {
+        Shard& sh = shards[s];
+        sh.window_end = window_end;
+        tls_shard_ = &sh;
+        while (!sh.heap.empty()) {
+          const Event& top = sh.heap.top();
+          if (top.time >= window_end || top.time > time_limit) break;
+          const Event e = top;
+          sh.heap.pop();
+          ++sh.stats.events_processed;
+          sh.now = std::max(sh.now, e.time);
+          if (e.is_exec()) {
+            handle_exec(e);
+          } else {
+            handle_arrival(e);
+          }
+        }
+        tls_shard_ = nullptr;
+      }
+      window_barrier.arrive_and_wait();
+      // All sends for this window are buffered; each thread merges its
+      // own shards' inboxes (every source's outbox column) into their
+      // heaps.  The composite seq keys make the merge order automatic.
+      for (std::uint32_t d = lo; d < hi; ++d) {
+        Shard& dst = shards[d];
+        tls_shard_ = &dst;
+        for (std::uint32_t src = 0; src < nodes; ++src) {
+          std::vector<Mail>& box = shards[src].outbox[d];
+          for (Mail& mail : box) {
+            const std::uint32_t slot = acquire_slot(std::move(mail.task));
+            dst.heap.push(Event{mail.time, mail.seq, mail.pe,
+                                mail.charge_recv ? (kRecvBit | slot)
+                                                 : slot});
+          }
+          box.clear();
+        }
+        tls_shard_ = nullptr;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads - 1);
+  for (unsigned tid = 1; tid < nthreads; ++tid) {
+    pool.emplace_back(worker, tid);
+  }
+  worker(0);
+  for (std::thread& t : pool) t.join();
+
+  // Fold shard deltas back into the machine and merge unprocessed
+  // events (a hit time limit) back into the global queue.
+  RunStats stats;
+  stats.hit_time_limit = hit_limit;
+  for (Shard& sh : shards) {
+    stats.tasks_executed += sh.stats.tasks_executed;
+    stats.idle_polls += sh.stats.idle_polls;
+    stats.messages_sent += sh.stats.messages_sent;
+    stats.bytes_sent += sh.stats.bytes_sent;
+    stats.events_processed += sh.stats.events_processed;
+    messages_sent_ += sh.stats.messages_sent;
+    bytes_sent_ += sh.stats.bytes_sent;
+    events_processed_ += sh.stats.events_processed;
+    ready_tasks_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(ready_tasks_) + sh.ready_delta);
+    current_time_ = std::max(current_time_, sh.now);
+    while (!sh.heap.empty()) {
+      const Event e = sh.heap.top();
+      sh.heap.pop();
+      if (e.is_exec()) {
+        queue_.push(e);
+        continue;
+      }
+      Task task = std::move(sh.slots[e.slot()]);
+      const std::uint32_t slot = acquire_slot(std::move(task));
+      queue_.push(
+          Event{e.time, e.seq, e.pe, (e.packed & kRecvBit) | slot});
+    }
+  }
+  stats.end_time_us = current_time_;
   return stats;
 }
 

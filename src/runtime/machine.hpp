@@ -26,19 +26,35 @@
 //
 // Determinism
 // -----------
-// The event queue orders by (time, sequence number); all ties break on
-// the monotone sequence number, so a given program + seed produces an
-// identical event interleaving on every run.  This property underpins
-// the regression tests and makes experiments exactly reproducible.
-// Slot and pool reuse recycles *memory*, never ordering: indices take no
-// part in event comparison.
+// The event queue orders by (time, sequence number).  The sequence
+// number is a composite key: the id of the simulated node that created
+// the event in its top 16 bits, a per-node monotone counter below.
+// Ties on time therefore break by (creating node, creation order on that
+// node) — a total order that does not depend on how the events were
+// interleaved across host threads, so serial and parallel execution
+// replay the identical simulation.  Slot and pool reuse recycles
+// *memory*, never ordering: indices take no part in event comparison.
+//
+// Parallel execution (docs/performance.md, "Parallel engine")
+// -----------------------------------------------------------
+// set_threads(N) with N > 1 runs the event loop with one shard (heap +
+// slot store) per simulated node, advanced in barrier-synchronized
+// conservative time windows of width latency_inter_node_us: no message
+// crosses nodes faster than that, so within a window each shard can
+// execute its own node's events independently.  Cross-node sends buffer
+// into per-(src,dst) mailboxes merged at the window barrier; because
+// events order by the composite key above, the merged interleaving is
+// bit-identical to the serial engine's at any thread count.  Runs fall
+// back to the serial loop when a registry or span hook is attached
+// (observation streams are inherently ordered), on single-node
+// topologies, or when the network model has no inter-node lookahead.
 //
 // Ownership discipline (per the HPC guides: message passing, no shared
 // mutable state): a task scheduled on PE p may mutate only state owned by
 // p; all cross-PE effects must travel through send()/enqueue_local().
-// Because the simulation itself runs on one OS thread, this is a design
-// rule rather than a data-race matter — the tests enforce it by checking
-// that algorithm results are independent of network timing parameters.
+// Under parallel execution this is a hard requirement, not just a design
+// rule: a task's shard only owns the state of its own simulated node,
+// and the ThreadSanitizer CI job enforces it as a data-race matter.
 
 #include <cstdint>
 #include <functional>
@@ -206,15 +222,6 @@ class Machine {
   /// initial work injection and timers).
   void schedule_at(SimTime time, PeId pe, Task task);
 
-  /// DEPRECATED — use add_idle_handler (see docs/runtime.md for the
-  /// migration).  Installs the *sole* idle handler for `pe`, asserting
-  /// if any handler is already registered: a second engine silently
-  /// clobbering the first's pull loop was exactly the bug that made
-  /// multi-tenant runs impossible.  Kept as a guard-railed wrapper for
-  /// external single-tenant callers; every internal engine now
-  /// registers through add_idle_handler.
-  void set_idle_handler(PeId pe, IdleHandler handler);
-
   /// Registers an additional idle handler for `pe` and returns a handle
   /// for deregistration.  When the PE goes idle, registered handlers are
   /// polled round-robin (one poll tries handlers in registration order,
@@ -233,7 +240,19 @@ class Machine {
 
   /// Runs the event loop until the queue drains or `time_limit` is
   /// reached.  May be called repeatedly; time continues monotonically.
+  /// With set_threads(N > 1) on a multi-node topology the loop executes
+  /// in parallel conservative time windows; results are bit-identical
+  /// to the serial loop (see the header comment).
   RunStats run(SimTime time_limit = kNoTimeLimit);
+
+  /// Host worker threads for run(): one shard per simulated node,
+  /// clamped to the node count.  1 (the default) keeps the serial event
+  /// loop.  Must not be called while run() is executing.
+  void set_threads(unsigned threads) {
+    ACIC_ASSERT_MSG(threads >= 1, "thread count must be >= 1");
+    threads_ = threads;
+  }
+  unsigned threads() const { return threads_; }
 
   /// Time of the most recently processed event.
   SimTime current_time() const { return current_time_; }
@@ -305,14 +324,33 @@ class Machine {
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;  // min-heap: earlier seq first
+      return a.seq > b.seq;  // min-heap: earlier (node, counter) key first
     }
   };
 
+  /// One event-loop shard (heap + slot store + outgoing mailboxes +
+  /// run-stat deltas) per simulated node; exists only inside a parallel
+  /// run().  Defined in machine.cpp.
+  struct Shard;
+  /// A cross-node arrival buffered until the window barrier.  The seq
+  /// was already assigned by the *sending* shard, so merge order is
+  /// decided by the heap comparator alone.
+  struct Mail;
+
+  /// Composite event key: creating node in the top 16 bits, that node's
+  /// monotone counter below.  Per-node counters are what let shards
+  /// assign globally ordered keys without synchronizing.
+  std::uint64_t next_seq(std::uint32_t node) {
+    return (static_cast<std::uint64_t>(node) << 48) | node_seq_[node].next++;
+  }
+
   void push_arrival(SimTime time, PeId pe, Task task, bool charge_recv);
+  void push_exec(SimTime time, PeId pe);
   void ensure_exec_scheduled(Pe& pe, SimTime earliest);
   void handle_arrival(const Event& event);
   void handle_exec(const Event& event);
+
+  RunStats run_parallel(SimTime time_limit);
 
   std::uint32_t acquire_slot(Task task);
   Task release_slot(std::uint32_t slot);
@@ -331,7 +369,25 @@ class Machine {
   /// indices LIFO.
   std::vector<Task> task_slots_;
   std::vector<std::uint32_t> free_slots_;
-  std::uint64_t next_seq_ = 0;
+  /// entity id -> simulated node, precomputed (node_of costs two integer
+  /// divisions; this table is hit once or more per event).
+  std::vector<std::uint32_t> entity_node_;
+  /// Per-node event counters, cache-line padded: under parallel
+  /// execution each shard increments only its own node's counter.
+  struct alignas(64) NodeSeq {
+    std::uint64_t next = 0;
+  };
+  std::vector<NodeSeq> node_seq_;
+  /// Node of the event being dispatched by the *serial* loop — the
+  /// serial mirror of the parallel engine's "executing shard", so both
+  /// assign identical composite keys.
+  std::uint32_t current_node_ = 0;
+  bool running_ = false;  // inside the serial run() loop
+  unsigned threads_ = 1;
+  /// The shard the calling host thread is executing (null outside
+  /// parallel run()); routes pushes/slot ops/stat updates to shard-local
+  /// state.
+  static thread_local Shard* tls_shard_;
   IdleHandlerId next_idle_handler_id_ = 1;
   SimTime current_time_ = 0.0;
   SimTime idle_poll_cost_us_ = 0.05;

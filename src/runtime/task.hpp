@@ -37,9 +37,10 @@ class Pe;
 namespace detail {
 
 /// Size-classed free-list allocator for spilled task captures.  Blocks
-/// are recycled LIFO and only returned to the system allocator at
-/// process exit (the lists are reachable statics, so leak checkers stay
-/// quiet).  Single-threaded by design, like the simulator itself.
+/// are recycled LIFO through thread-local free lists and returned to the
+/// system allocator at thread exit.  Safe under the parallel engine: a
+/// spilled Task that migrates across host threads (via a cross-node
+/// mailbox) just moves its block from one thread's pool to another's.
 void* task_slab_alloc(std::size_t bytes);
 void task_slab_free(void* block, std::size_t bytes) noexcept;
 

@@ -1,5 +1,6 @@
 #include "src/runtime/task.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <new>
 
@@ -10,8 +11,13 @@ namespace {
 // Spilled captures are rare (hot-path closures fit Task's inline buffer)
 // but bursty — e.g. a cold path enqueuing one oversized closure per PE
 // per reduction cycle.  A handful of size classes with LIFO free lists
-// turns those into pointer pops in steady state.  The simulator is
-// single-threaded; thread_local keeps concurrent test runners safe.
+// turns those into pointer pops in steady state.  Free lists are
+// thread_local: the parallel engine can allocate a spilled capture on
+// one host thread and free it on another (a Task migrates through a
+// cross-node mailbox), which simply moves the block between thread
+// pools — operator new/delete are global, so that is safe.  Only the
+// live/pooled accounting is process-wide (atomic), because the test
+// hooks compare totals across whole runs.
 constexpr std::size_t kClassSizes[] = {64, 128, 256, 512, 1024};
 constexpr std::size_t kNumClasses =
     sizeof(kClassSizes) / sizeof(kClassSizes[0]);
@@ -20,10 +26,11 @@ struct FreeBlock {
   FreeBlock* next;
 };
 
+std::atomic<std::size_t> g_live{0};    // blocks handed out, not yet freed
+std::atomic<std::size_t> g_pooled{0};  // blocks parked in free lists
+
 struct Slab {
   FreeBlock* free_lists[kNumClasses] = {};
-  std::size_t live = 0;    // blocks handed out and not yet freed
-  std::size_t pooled = 0;  // blocks parked in the free lists
 
   ~Slab() {
     // Return pooled blocks at thread exit so leak checkers see a clean
@@ -35,6 +42,7 @@ struct Slab {
         ::operator delete(head,
                           std::align_val_t{alignof(std::max_align_t)});
         head = next;
+        g_pooled.fetch_sub(1, std::memory_order_relaxed);
       }
     }
   }
@@ -57,13 +65,13 @@ std::size_t class_of(std::size_t bytes) {
 void* task_slab_alloc(std::size_t bytes) {
   Slab& s = slab();
   const std::size_t c = class_of(bytes);
-  ++s.live;
+  g_live.fetch_add(1, std::memory_order_relaxed);
   if (c == kNumClasses) {
     return ::operator new(bytes, std::align_val_t{alignof(std::max_align_t)});
   }
   if (FreeBlock* block = s.free_lists[c]) {
     s.free_lists[c] = block->next;
-    --s.pooled;
+    g_pooled.fetch_sub(1, std::memory_order_relaxed);
     return block;
   }
   return ::operator new(kClassSizes[c],
@@ -73,7 +81,7 @@ void* task_slab_alloc(std::size_t bytes) {
 void task_slab_free(void* block, std::size_t bytes) noexcept {
   Slab& s = slab();
   const std::size_t c = class_of(bytes);
-  --s.live;
+  g_live.fetch_sub(1, std::memory_order_relaxed);
   if (c == kNumClasses) {
     ::operator delete(block, std::align_val_t{alignof(std::max_align_t)});
     return;
@@ -81,10 +89,14 @@ void task_slab_free(void* block, std::size_t bytes) noexcept {
   auto* free_block = static_cast<FreeBlock*>(block);
   free_block->next = s.free_lists[c];
   s.free_lists[c] = free_block;
-  ++s.pooled;
+  g_pooled.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::size_t task_slab_live_blocks() noexcept { return slab().live; }
-std::size_t task_slab_pooled_blocks() noexcept { return slab().pooled; }
+std::size_t task_slab_live_blocks() noexcept {
+  return g_live.load(std::memory_order_relaxed);
+}
+std::size_t task_slab_pooled_blocks() noexcept {
+  return g_pooled.load(std::memory_order_relaxed);
+}
 
 }  // namespace acic::runtime::detail

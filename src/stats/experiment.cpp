@@ -78,16 +78,18 @@ graph::Csr build_graph(const ExperimentSpec& spec) {
   params.num_edges =
       static_cast<std::uint64_t>(spec.edge_factor) * params.num_vertices;
   params.seed = spec.seed;
+  params.threads = spec.threads;
 
   switch (spec.graph) {
     case GraphKind::kRandom:
       return graph::Csr::from_edge_list(
-          graph::generate_uniform_random(params));
+          graph::generate_uniform_random(params), spec.threads);
     case GraphKind::kRmat:
-      return graph::Csr::from_edge_list(graph::generate_rmat(params));
+      return graph::Csr::from_edge_list(graph::generate_rmat(params),
+                                        spec.threads);
     case GraphKind::kErdosRenyi:
       return graph::Csr::from_edge_list(
-          graph::generate_erdos_renyi(params));
+          graph::generate_erdos_renyi(params), spec.threads);
     case GraphKind::kRoad: {
       // Square grid with the requested vertex count; edge_factor is
       // ignored (grids are ~4-regular, like road networks).
@@ -97,7 +99,7 @@ graph::Csr build_graph(const ExperimentSpec& spec) {
       grid.width = side;
       grid.height = side;
       return graph::Csr::from_edge_list(
-          graph::generate_grid_road(grid, spec.seed));
+          graph::generate_grid_road(grid, spec.seed), spec.threads);
     }
   }
   ACIC_ASSERT(false);
@@ -140,6 +142,7 @@ RunOutcome run_algorithm(Algo algo, const graph::Csr& csr,
                          const AlgoParams& params,
                          runtime::SimTime time_limit_us) {
   runtime::Machine machine(spec.topology());
+  machine.set_threads(spec.threads);
   if (spec.straggler_factor != 1.0) {
     // Slow the last worker, not PE 0: PE 0 is the reduction root for
     // every algorithm, and slowing it would measure root-bottleneck

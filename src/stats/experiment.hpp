@@ -67,6 +67,11 @@ struct ExperimentSpec {
   /// barrier-bound by the slowest PE; asynchronous ones absorb it.
   double straggler_factor = 1.0;
 
+  /// Host worker threads for graph construction and for the simulation
+  /// engine (Machine::set_threads).  Results are identical at any value;
+  /// this is purely a wall-clock knob.
+  unsigned threads = 1;
+
   runtime::Topology topology() const;
 };
 

@@ -77,7 +77,9 @@ struct TramConfig {
   /// vs manual flushes) and a "tram/flush_occupancy" series recording
   /// buffer fill at every flush.  Families are shared by name, so
   /// several tram instances (e.g. one per concurrent query) merge into
-  /// machine-wide totals.  Must outlive the tram.
+  /// machine-wide totals.  Must outlive the tram.  A registry-attached
+  /// tram requires the serial engine (Machine::set_threads(1)): registry
+  /// publishing is not sharded per node.
   obs::Registry* registry = nullptr;
 };
 
@@ -117,9 +119,12 @@ class Tram {
     // would otherwise derive from the topology (integer divisions) or
     // the mode (branches) per call.
     proc_of_.resize(topo_.num_entities());
+    node_of_.resize(topo_.num_entities());
     for (runtime::PeId p = 0; p < topo_.num_entities(); ++p) {
       proc_of_[p] = topo_.proc_of(p);
+      node_of_[p] = topo_.node_of(p);
     }
+    node_.resize(topo_.nodes);
     insert_charge_us_ =
         config_.insert_cost_us +
         (set_owned_by_pe() ? 0.0 : config_.atomic_penalty_us);
@@ -151,12 +156,13 @@ class Tram {
       buffer.items.reserve(config_.buffer_items);
     }
     buffer.items.push_back(make_entry(dst_pe, item));
-    ++stats_.items_inserted;
+    NodeLocal& nl = node_[node_of_[src.id()]];
+    ++nl.stats.items_inserted;
     if (config_.registry != nullptr) [[unlikely]] {
       config_.registry->add(obs_items_inserted_, src.id(), 1, src.now());
     }
     if (buffer.items.size() >= config_.buffer_items) {
-      ++stats_.auto_flushes;
+      ++nl.stats.auto_flushes;
       if (config_.registry != nullptr) {
         config_.registry->add(obs_auto_flushes_, src.id(), 1, src.now());
       }
@@ -175,8 +181,9 @@ class Tram {
         flush_buffer(pe, set, dest);
       }
     }
-    ++stats_.manual_flushes;
-    if (!any) ++stats_.flushed_empty;
+    NodeLocal& nl = node_[node_of_[pe.id()]];
+    ++nl.stats.manual_flushes;
+    if (!any) ++nl.stats.flushed_empty;
     if (config_.registry != nullptr) {
       config_.registry->add(obs_manual_flushes_, pe.id(), 1, pe.now());
     }
@@ -192,7 +199,22 @@ class Tram {
     return count;
   }
 
-  const TramStats& stats() const { return stats_; }
+  /// Folded totals across the per-node shards (by value: under the
+  /// parallel engine each simulated node accumulates into its own
+  /// cache-line-padded counters, summed here on demand).
+  TramStats stats() const {
+    TramStats total;
+    for (const NodeLocal& nl : node_) {
+      total.items_inserted += nl.stats.items_inserted;
+      total.items_delivered += nl.stats.items_delivered;
+      total.aggregate_messages += nl.stats.aggregate_messages;
+      total.auto_flushes += nl.stats.auto_flushes;
+      total.manual_flushes += nl.stats.manual_flushes;
+      total.flushed_empty += nl.stats.flushed_empty;
+      total.items_duplicated += nl.stats.items_duplicated;
+    }
+    return total;
+  }
   const TramConfig& config() const { return config_; }
 
  private:
@@ -212,6 +234,19 @@ class Tram {
   using Entry = std::conditional_t<kDerivesTarget, T, EntryWithTarget>;
   struct Buffer {
     std::vector<Entry> items;
+  };
+
+  /// Mutable scratch a delivery or flush touches outside its own buffer
+  /// set, sharded per simulated node so the parallel engine's shards
+  /// never share a cache line: batch pool, fan_out scratch, stats.
+  /// (`buffers_` itself needs no sharding — a buffer set is written only
+  /// by its owning PE/process, and a process never spans nodes.)
+  struct alignas(64) NodeLocal {
+    std::vector<std::vector<Entry>> pool;  // recycled batch stores
+    std::vector<runtime::PeId> fanout_targets;      // fan_out scratch
+    std::vector<std::vector<Entry>> fanout_groups;  // fan_out scratch
+    std::vector<std::uint32_t> fanout_lane;         // PE lane -> group
+    TramStats stats;
   };
 
   static Entry make_entry(runtime::PeId target, const T& item) {
@@ -253,39 +288,41 @@ class Tram {
     return 32 + items * config_.item_bytes;  // 32-byte envelope
   }
 
-  /// Hands out a flat batch vector from the recycling pool (capacity
-  /// pre-grown to the flush threshold), so steady-state flushes never
-  /// touch the allocator.
-  std::vector<Entry> acquire_vec(std::size_t reserve_hint) {
+  /// Hands out a flat batch vector from the executing node's recycling
+  /// pool (capacity pre-grown to the flush threshold), so steady-state
+  /// flushes never touch the allocator.
+  std::vector<Entry> acquire_vec(NodeLocal& nl, std::size_t reserve_hint) {
     std::vector<Entry> v;
-    if (!pool_.empty()) {
-      v = std::move(pool_.back());
-      pool_.pop_back();
+    if (!nl.pool.empty()) {
+      v = std::move(nl.pool.back());
+      nl.pool.pop_back();
     }
     if (v.capacity() < reserve_hint) v.reserve(reserve_hint);
     return v;
   }
 
-  /// Returns a drained batch to the pool.  Delivery tasks call this after
-  /// their last item is dispatched; the same backing store then refills
-  /// on a later flush.
-  void recycle_vec(std::vector<Entry>&& v) {
-    if (pool_.size() >= kMaxPooledBuffers) return;  // let it free
+  /// Returns a drained batch to the executing node's pool.  Delivery
+  /// tasks call this after their last item is dispatched; a batch that
+  /// crossed nodes simply moves its backing store from the sender's pool
+  /// to the receiver's.
+  void recycle_vec(NodeLocal& nl, std::vector<Entry>&& v) {
+    if (nl.pool.size() >= kMaxPooledBuffers) return;  // let it free
     v.clear();
-    pool_.push_back(std::move(v));
+    nl.pool.push_back(std::move(v));
   }
 
   void flush_buffer(runtime::Pe& src, std::size_t set, std::size_t dest) {
     Buffer& buffer = buffers_[set * dests_ + dest];
     ACIC_ASSERT(!buffer.items.empty());
+    NodeLocal& nl = node_[node_of_[src.id()]];
     // The full buffer moves into the delivery task wholesale; the buffer
     // slot gets a recycled backing store in exchange.
     std::vector<Entry> batch = std::move(buffer.items);
-    buffer.items = acquire_vec(config_.buffer_items);
+    buffer.items = acquire_vec(nl, config_.buffer_items);
     if (config_.debug_reverse_batches) {
       std::reverse(batch.begin(), batch.end());
     }
-    ++stats_.aggregate_messages;
+    ++nl.stats.aggregate_messages;
     if (config_.registry != nullptr) {
       config_.registry->add(obs_aggregate_messages_, src.id(), 1,
                             src.now());
@@ -303,7 +340,7 @@ class Tram {
       src.send(target, wire_bytes(batch.size()),
                [this, batch = std::move(batch)](runtime::Pe& pe) mutable {
                  deliver_batch(pe, batch);
-                 recycle_vec(std::move(batch));
+                 recycle_vec(node_[node_of_[pe.id()]], std::move(batch));
                });
       return;
     }
@@ -314,7 +351,7 @@ class Tram {
     const auto dst_proc = static_cast<std::uint32_t>(dest);
     if (dst_proc == topo_.proc_of(src.id())) {
       fan_out(src, batch);
-      recycle_vec(std::move(batch));
+      recycle_vec(nl, std::move(batch));
       return;
     }
     const runtime::PeId comm = topo_.comm_thread_of_proc(dst_proc);
@@ -323,7 +360,8 @@ class Tram {
                comm_pe.charge(config_.route_cost_us *
                               static_cast<double>(batch.size()));
                fan_out(comm_pe, batch);
-               recycle_vec(std::move(batch));
+               recycle_vec(node_[node_of_[comm_pe.id()]],
+                           std::move(batch));
              });
   }
 
@@ -335,40 +373,42 @@ class Tram {
     // process, so each target maps to a lane [0, pes_per_proc) and the
     // group is found by direct indexing.  Groups are still created in
     // first-appearance order, preserving the send sequence the ordered
-    // scan produced.  The scratch vectors are members (fan_out never
-    // reenters: sends only park tasks); group backing stores come from —
-    // and return to — the batch pool.
-    fanout_targets_.clear();
-    fanout_groups_.clear();
+    // scan produced.  The scratch vectors live in the executing node's
+    // shard (fan_out never reenters: sends only park tasks); group
+    // backing stores come from — and return to — the batch pool.
+    NodeLocal& nl = node_[node_of_[from.id()]];
+    nl.fanout_targets.clear();
+    nl.fanout_groups.clear();
     const runtime::PeId base =
         topo_.first_pe_of_proc(proc_of_[entry_target(batch.front())]);
     constexpr std::uint32_t kNoGroup = 0xffffffffu;
-    fanout_lane_.assign(topo_.pes_per_proc, kNoGroup);
+    nl.fanout_lane.assign(topo_.pes_per_proc, kNoGroup);
     for (const Entry& entry : batch) {
       const runtime::PeId target = entry_target(entry);
       const std::uint32_t lane = target - base;
-      ACIC_HOT_ASSERT(lane < fanout_lane_.size());
-      std::uint32_t g = fanout_lane_[lane];
+      ACIC_HOT_ASSERT(lane < nl.fanout_lane.size());
+      std::uint32_t g = nl.fanout_lane[lane];
       if (g == kNoGroup) {
-        g = static_cast<std::uint32_t>(fanout_targets_.size());
-        fanout_lane_[lane] = g;
-        fanout_targets_.push_back(target);
-        fanout_groups_.push_back(acquire_vec(0));
+        g = static_cast<std::uint32_t>(nl.fanout_targets.size());
+        nl.fanout_lane[lane] = g;
+        nl.fanout_targets.push_back(target);
+        nl.fanout_groups.push_back(acquire_vec(nl, 0));
       }
-      fanout_groups_[g].push_back(entry);
+      nl.fanout_groups[g].push_back(entry);
     }
-    for (std::size_t g = 0; g < fanout_targets_.size(); ++g) {
-      from.send(fanout_targets_[g], wire_bytes(fanout_groups_[g].size()),
-                [this, group = std::move(fanout_groups_[g])](
+    for (std::size_t g = 0; g < nl.fanout_targets.size(); ++g) {
+      from.send(nl.fanout_targets[g], wire_bytes(nl.fanout_groups[g].size()),
+                [this, group = std::move(nl.fanout_groups[g])](
                     runtime::Pe& pe) mutable {
                   deliver_batch(pe, group);
-                  recycle_vec(std::move(group));
+                  recycle_vec(node_[node_of_[pe.id()]], std::move(group));
                 });
     }
-    fanout_groups_.clear();
+    nl.fanout_groups.clear();
   }
 
   void deliver_batch(runtime::Pe& pe, const std::vector<Entry>& batch) {
+    NodeLocal& nl = node_[node_of_[pe.id()]];
     // Steady-state fast path (no registry, no fault injection): one
     // charge and one handler call per item, nothing else in the loop.
     if (config_.registry == nullptr &&
@@ -379,28 +419,31 @@ class Tram {
         pe.charge(cost);
         deliver_(pe, entry_item(entry));
       }
-      stats_.items_delivered += batch.size();
+      nl.stats.items_delivered += batch.size();
       return;
     }
     for (const Entry& entry : batch) {
       ACIC_HOT_ASSERT(entry_target(entry) == pe.id());
       pe.charge(config_.deliver_cost_us);
-      ++stats_.items_delivered;
+      ++nl.stats.items_delivered;
       if (config_.registry != nullptr) [[unlikely]] {
         config_.registry->add(obs_items_delivered_, pe.id(), 1, pe.now());
       }
       deliver_(pe, entry_item(entry));
+      // Fault injection counts per receiving node (every node duplicates
+      // its own Nth delivered item), so behavior is thread-agnostic.
       if (config_.debug_duplicate_every != 0 &&
-          stats_.items_delivered % config_.debug_duplicate_every == 0) {
+          nl.stats.items_delivered % config_.debug_duplicate_every == 0) {
         pe.charge(config_.deliver_cost_us);
-        ++stats_.items_duplicated;
+        ++nl.stats.items_duplicated;
         deliver_(pe, entry_item(entry));
       }
     }
   }
 
-  /// Bound on parked batch backing stores; beyond this, drained batches
-  /// just free (keeps worst-case WW fan-outs from pinning memory).
+  /// Bound on parked batch backing stores per node; beyond this, drained
+  /// batches just free (keeps worst-case WW fan-outs from pinning
+  /// memory).
   static constexpr std::size_t kMaxPooledBuffers = 256;
 
   runtime::Machine& machine_;
@@ -410,12 +453,9 @@ class Tram {
   std::vector<Buffer> buffers_;  // flat [set * dests_ + dest]
   std::size_t dests_ = 0;
   std::vector<std::uint32_t> proc_of_;        // PeId -> process (by table)
+  std::vector<std::uint32_t> node_of_;        // PeId -> simulated node
   runtime::SimTime insert_charge_us_ = 0.0;   // per-insert CPU, mode-fixed
-  std::vector<std::vector<Entry>> pool_;      // recycled batch stores
-  std::vector<runtime::PeId> fanout_targets_;       // fan_out scratch
-  std::vector<std::vector<Entry>> fanout_groups_;   // fan_out scratch
-  std::vector<std::uint32_t> fanout_lane_;          // PE lane -> group
-  TramStats stats_;
+  std::vector<NodeLocal> node_;               // per-node mutable scratch
 
   // Registry handles; valid iff config_.registry != nullptr.
   obs::CounterId obs_items_inserted_;

@@ -1,0 +1,44 @@
+#pragma once
+// Minimal fork-join helper for the deterministic parallel build paths
+// (graph generation, edge-list sort, CSR construction).
+//
+// `parallel_for(count, threads, fn)` runs fn(i) once for every index in
+// [0, count), using up to `threads` host threads (the calling thread
+// included).  Indices are handed out dynamically through an atomic
+// counter, so callers MUST make fn(i) depend only on i (e.g. write into
+// slot i of a pre-sized output) — then the result is identical at any
+// thread count, which is how the graph builders stay deterministic.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace acic::util {
+
+template <typename Fn>
+void parallel_for(std::uint64_t count, unsigned threads, Fn&& fn) {
+  if (count == 0) return;
+  const unsigned n = static_cast<unsigned>(std::min<std::uint64_t>(
+      threads == 0 ? 1 : threads, count));
+  if (n <= 1) {
+    for (std::uint64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::uint64_t> next{0};
+  auto worker = [&next, count, &fn] {
+    for (std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < count;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(n - 1);
+  for (unsigned t = 1; t < n; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace acic::util

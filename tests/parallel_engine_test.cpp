@@ -1,0 +1,215 @@
+// Determinism contract of the parallel engine: Machine::set_threads is
+// a wall-clock knob, never a results knob.  Every registered solver
+// must produce bit-identical distances, simulated times, metrics and
+// machine totals at any thread count, and the conservative window merge
+// must break timestamp ties exactly like the serial event queue.  The
+// graph builders carry the same contract for their thread parameter.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/csr.hpp"
+#include "src/graph/generators.hpp"
+#include "src/runtime/machine.hpp"
+#include "src/sssp/solver.hpp"
+#include "src/stats/experiment.hpp"
+
+namespace {
+
+using acic::graph::Csr;
+using acic::graph::Edge;
+using acic::graph::EdgeList;
+using acic::graph::GenParams;
+using acic::runtime::Machine;
+using acic::runtime::Pe;
+using acic::runtime::PeId;
+using acic::runtime::RunStats;
+using acic::runtime::Topology;
+
+/// Everything a run exposes that must be independent of the host
+/// thread count.
+struct Observed {
+  std::vector<acic::graph::Dist> dist;
+  double sim_time_us = 0.0;
+  std::uint64_t cycles = 0;
+  std::uint64_t updates_created = 0;
+  std::uint64_t updates_processed = 0;
+  std::uint64_t updates_rejected = 0;
+  std::uint64_t network_messages = 0;
+  std::uint64_t network_bytes = 0;
+  std::uint64_t machine_events = 0;
+  std::uint64_t machine_messages = 0;
+  std::uint64_t machine_bytes = 0;
+  std::uint64_t tasks = 0;
+  std::vector<double> pe_busy_us;
+};
+
+Observed run_solver_observed(const std::string& solver,
+                             const acic::stats::ExperimentSpec& spec,
+                             const Csr& csr, unsigned threads) {
+  Machine machine(spec.topology());
+  machine.set_threads(threads);
+  acic::sssp::SolverOptions opts;
+  const acic::sssp::SolverRun run =
+      acic::sssp::run_solver(solver, machine, csr, spec.source, opts);
+  Observed o;
+  o.dist = run.sssp.dist;
+  o.sim_time_us = run.sssp.metrics.sim_time_us;
+  o.cycles = run.telemetry.cycles;
+  o.updates_created = run.sssp.metrics.updates_created;
+  o.updates_processed = run.sssp.metrics.updates_processed;
+  o.updates_rejected = run.sssp.metrics.updates_rejected;
+  o.network_messages = run.sssp.metrics.network_messages;
+  o.network_bytes = run.sssp.metrics.network_bytes;
+  o.machine_events = machine.total_events_processed();
+  o.machine_messages = machine.total_messages_sent();
+  o.machine_bytes = machine.total_bytes_sent();
+  o.pe_busy_us = run.telemetry.pe_busy_us;
+  for (PeId p = 0; p < machine.num_pes(); ++p) {
+    o.tasks += machine.pe_tasks_run(p);
+  }
+  return o;
+}
+
+void expect_identical(const Observed& a, const Observed& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.sim_time_us, b.sim_time_us);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.updates_created, b.updates_created);
+  EXPECT_EQ(a.updates_processed, b.updates_processed);
+  EXPECT_EQ(a.updates_rejected, b.updates_rejected);
+  EXPECT_EQ(a.network_messages, b.network_messages);
+  EXPECT_EQ(a.network_bytes, b.network_bytes);
+  EXPECT_EQ(a.machine_events, b.machine_events);
+  EXPECT_EQ(a.machine_messages, b.machine_messages);
+  EXPECT_EQ(a.machine_bytes, b.machine_bytes);
+  EXPECT_EQ(a.tasks, b.tasks);
+  EXPECT_EQ(a.pe_busy_us, b.pe_busy_us);
+}
+
+TEST(ParallelEngine, EverySolverMatchesSerialAtAnyThreadCount) {
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    acic::stats::ExperimentSpec spec;
+    spec.graph = acic::stats::GraphKind::kRandom;
+    spec.scale = 10;
+    spec.edge_factor = 8;
+    spec.seed = seed;
+    spec.nodes = 4;  // 4 nodes x 8 PEs: real cross-node traffic
+    const Csr csr = acic::stats::build_graph(spec);
+    for (const std::string& solver : acic::sssp::solver_names()) {
+      const Observed serial = run_solver_observed(solver, spec, csr, 1);
+      for (const unsigned threads : {2u, 4u}) {
+        const Observed parallel =
+            run_solver_observed(solver, spec, csr, threads);
+        expect_identical(serial, parallel,
+                         solver + " seed=" + std::to_string(seed) +
+                             " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+// Adversarial timestamp ties: six senders on three different nodes all
+// deliver to PE 0 at the exact same simulated instant.  The serial
+// engine breaks the tie by the composite (node, counter) sequence key;
+// the window merge must reproduce that order exactly, not just some
+// deterministic order of its own.
+TEST(ParallelEngine, WindowMergeBreaksTimestampTiesLikeSerial) {
+  auto run_once = [](unsigned threads) {
+    Machine machine(Topology{4, 1, 2});
+    machine.set_threads(threads);
+    std::vector<int> order;
+    // PEs 2..7 live on nodes 1..3; node 0 only receives.
+    for (PeId p = 2; p < 8; ++p) {
+      machine.schedule_at(0.0, p, [&order, p](Pe& pe) {
+        pe.send(0, 64, [&order, p](Pe&) {
+          order.push_back(static_cast<int>(p));
+        });
+        pe.send(0, 64, [&order, p](Pe&) {
+          order.push_back(100 + static_cast<int>(p));
+        });
+      });
+    }
+    const RunStats stats = machine.run();
+    return std::pair(order, stats.end_time_us);
+  };
+
+  const auto [serial_order, serial_end] = run_once(1);
+  EXPECT_EQ(serial_order.size(), 12u);
+  for (const unsigned threads : {2u, 4u}) {
+    SCOPED_TRACE(threads);
+    const auto [order, end] = run_once(threads);
+    EXPECT_EQ(order, serial_order);
+    EXPECT_EQ(end, serial_end);
+  }
+}
+
+void expect_same_edges(const EdgeList& a, const EdgeList& b) {
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.num_edges(); ++i) {
+    const Edge& x = a.edges()[i];
+    const Edge& y = b.edges()[i];
+    ASSERT_EQ(x.src, y.src) << "edge " << i;
+    ASSERT_EQ(x.dst, y.dst) << "edge " << i;
+    ASSERT_EQ(x.weight, y.weight) << "edge " << i;
+  }
+}
+
+TEST(ParallelEngine, GeneratorsIdenticalAtAnyThreadCount) {
+  GenParams params;
+  params.num_vertices = 1u << 12;
+  // Several chunks plus a ragged tail, so the chunk seams are exercised.
+  params.num_edges = (1ull << 17) + 12345;
+  params.seed = 7;
+
+  using Generator = EdgeList (*)(const GenParams&);
+  const Generator generators[] = {
+      [](const GenParams& p) { return acic::graph::generate_rmat(p); },
+      [](const GenParams& p) {
+        return acic::graph::generate_uniform_random(p);
+      },
+      [](const GenParams& p) {
+        return acic::graph::generate_erdos_renyi(p);
+      },
+  };
+  for (const Generator gen : generators) {
+    GenParams serial = params;
+    serial.threads = 1;
+    const EdgeList reference = gen(serial);
+    for (const unsigned threads : {2u, 4u}) {
+      GenParams parallel = params;
+      parallel.threads = threads;
+      expect_same_edges(reference, gen(parallel));
+    }
+  }
+}
+
+TEST(ParallelEngine, CsrBuildIdenticalAtAnyThreadCount) {
+  GenParams params;
+  params.num_vertices = 1u << 12;
+  params.num_edges = (1ull << 17) + 999;
+  params.seed = 11;
+  const EdgeList list = acic::graph::generate_rmat(params);
+
+  const Csr serial = Csr::from_edge_list(list, 1);
+  for (const unsigned threads : {2u, 4u}) {
+    SCOPED_TRACE(threads);
+    const Csr parallel = Csr::from_edge_list(list, threads);
+    EXPECT_EQ(serial.offsets(), parallel.offsets());
+    ASSERT_EQ(serial.neighbors().size(), parallel.neighbors().size());
+    for (std::size_t i = 0; i < serial.neighbors().size(); ++i) {
+      ASSERT_EQ(serial.neighbors()[i].dst, parallel.neighbors()[i].dst)
+          << "slot " << i;
+      ASSERT_EQ(serial.neighbors()[i].weight,
+                parallel.neighbors()[i].weight)
+          << "slot " << i;
+    }
+  }
+}
+
+}  // namespace

@@ -42,7 +42,7 @@ TEST(Tracer, RecordsIdlePolls) {
   Tracer tracer;
   acic::runtime::attach_tracer(machine, tracer);
   int polls = 0;
-  machine.set_idle_handler(0, [&polls](Pe& pe) {
+  machine.add_idle_handler(0, [&polls](Pe& pe) {
     if (polls++ == 0) {
       pe.charge(2.0);
       return true;  // found work once
