@@ -14,6 +14,7 @@
 #include "src/runtime/collectives.hpp"
 #include "src/runtime/machine.hpp"
 #include "src/tram/tram.hpp"
+#include "src/util/prefetch.hpp"
 #include "src/util/rng.hpp"
 
 namespace {
@@ -195,6 +196,74 @@ void BM_DeltaSteppingSequential(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DeltaSteppingSequential);
+
+// Prefetch-distance sweep over the update-application loop (the tram
+// delivery -> state.dist[local] apply path, including the CSR offsets
+// touch an arrival-time expansion does).  The graph is sized well past
+// LLC so every update is a cold random access, like a real delivery
+// batch mid-query.  Arg = how many items ahead the next update's
+// distance slot and offsets entry are prefetched; Arg(0) is the
+// no-prefetch baseline.  util::kDeliverPrefetchLookahead is chosen from
+// this curve (docs/performance.md "Locality" records the numbers).
+void BM_UpdateApplyPrefetch(benchmark::State& state) {
+  const auto lookahead = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint32_t kVerts = 1u << 20;
+  constexpr std::size_t kUpdates = 1u << 20;
+  struct Upd {
+    std::uint32_t vertex;
+    double dist;
+  };
+  // Built once, shared across all Args: a uniform graph (so rows are
+  // short and the dist/offsets misses dominate, as in the apply loop)
+  // and a fixed random update stream.
+  static const graph::Csr csr = [] {
+    graph::GenParams params;
+    params.num_vertices = kVerts;
+    params.num_edges = static_cast<std::size_t>(kVerts) * 4;
+    params.seed = 7;
+    return graph::Csr::from_edge_list(graph::generate_uniform_random(params));
+  }();
+  static const std::vector<Upd> updates = [] {
+    std::vector<Upd> stream;
+    stream.reserve(kUpdates);
+    acic::util::Xoshiro256 rng(11);
+    for (std::size_t i = 0; i < kUpdates; ++i) {
+      stream.push_back(Upd{static_cast<std::uint32_t>(
+                               rng.next_below(kVerts)),
+                           rng.next_double(0.0, 1000.0)});
+    }
+    return stream;
+  }();
+  std::vector<double> dist(kVerts, 1e300);
+  const std::size_t* offsets = csr.offsets().data();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < kUpdates; ++i) {
+      if (lookahead != 0 && i + lookahead < kUpdates) {
+        const std::uint32_t ahead = updates[i + lookahead].vertex;
+        util::prefetch_read(dist.data() + ahead);
+        util::prefetch_read(offsets + ahead);
+      }
+      const Upd& u = updates[i];
+      if (u.dist < dist[u.vertex]) dist[u.vertex] = u.dist;
+      // Arrival-time expansion: walk the row like kla/dc's on_deliver.
+      for (const graph::Neighbor& nb : csr.out_neighbors(u.vertex)) {
+        acc += nb.weight;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(dist.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kUpdates) *
+                          state.iterations());
+  state.SetLabel("lookahead=" + std::to_string(lookahead));
+}
+BENCHMARK(BM_UpdateApplyPrefetch)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16);
 
 void BM_HistogramOps(benchmark::State& state) {
   core::UpdateHistogram histogram(512, 0.0, 1u << 20);

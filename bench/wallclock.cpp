@@ -7,26 +7,42 @@
 //
 //   ./build/bench/wallclock --scales 16,18 --trials 3
 //   ./build/bench/wallclock --scale 18 --threads 1,2,4 --trials 3
+//   ./build/bench/wallclock --scale 16 --reorder identity,degree_desc,bfs
 //   ./build/bench/wallclock --scale 16 --trials 3 --check BENCH_wallclock.json
 //   (--check exits 3 on a >25% events/sec regression vs the checked file)
 //
-// Per (solver, scale, threads) the harness runs `trials` identical
-// queries on fresh machines and reports best/mean wall seconds,
-// events/sec and tasks/sec (scheduler throughput), plus the
+// Per (solver, scale, reorder, threads) the harness runs `trials`
+// identical queries on fresh machines and reports best/mean wall
+// seconds, events/sec and tasks/sec (scheduler throughput), plus the
 // simulated-side invariants (sim time, update counts, an FNV-1a checksum
 // over the distance bits) that must stay bit-identical across host-side
 // optimizations — including across `--threads` values: the parallel
 // engine is required to reproduce the serial schedule exactly, and the
-// harness exits 4 if any thread count diverges.  A `pre_pr` object
-// already present in the output file is carried forward, preserving the
-// before/after record the ISSUE asks for.
+// harness exits 4 (naming the diverging field and both values) if any
+// thread count or repeat trial diverges.
+//
+// --reorder runs each solver on relabeled copies of the graph
+// (src/graph/reorder.hpp).  The permuted CSR is built *outside* the
+// timed region, distances are inverse-permuted back to original labels
+// before checksumming, and every non-identity mode is validated by
+// exact distance equality against the identity run (exit 4 on
+// violation).  Reordering legitimately changes the message schedule, so
+// checksums/sim-times are NOT expected to match across modes — only the
+// distances.  Per mode, one extra untimed registry-instrumented run
+// collects the per-locality-tier net/* counters so the simulated
+// inter-node traffic delta is visible per solver × graph × mode.
+//
+// A `pre_pr` object already present in the output file is carried
+// forward, preserving the before/after record the ISSUE asks for.
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -34,6 +50,8 @@
 
 #include "bench/bench_common.hpp"
 #include "src/graph/csr.hpp"
+#include "src/graph/reorder.hpp"
+#include "src/obs/registry.hpp"
 #include "src/sssp/solver.hpp"
 #include "src/stats/experiment.hpp"
 
@@ -52,6 +70,9 @@ struct Sample {
   std::uint64_t updates_created = 0;
   std::uint64_t cycles = 0;
   std::uint64_t dist_checksum = 0;
+  /// Distances in *original* labels (inverse-permuted when the run used
+  /// a reordered graph) — the cross-mode equality reference.
+  std::vector<graph::Dist> dist;
 };
 
 /// FNV-1a over the raw distance bits: any behavioural drift in the
@@ -70,18 +91,89 @@ std::uint64_t checksum_distances(const std::vector<graph::Dist>& dist) {
   return h;
 }
 
+/// One divergence between two supposedly identical runs.
+struct FieldDiff {
+  const char* field;
+  std::string a;
+  std::string b;
+};
+
+std::string u64_str(std::uint64_t v) { return std::to_string(v); }
+std::string hex_str(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+std::string f_str(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9f", v);
+  return buf;
+}
+
+/// Field-by-field comparison of the simulated-side invariants.
+/// `compare_events` is off for cross-thread checks: per-shard idle polls
+/// make the heap-pop count an engine detail, not a schedule invariant.
+std::vector<FieldDiff> diff_samples(const Sample& a, const Sample& b,
+                                    bool compare_events) {
+  std::vector<FieldDiff> diffs;
+  if (a.dist_checksum != b.dist_checksum) {
+    diffs.push_back({"dist_checksum", hex_str(a.dist_checksum),
+                     hex_str(b.dist_checksum)});
+  }
+  if (a.sim_time_us != b.sim_time_us) {
+    diffs.push_back({"sim_time_us", f_str(a.sim_time_us),
+                     f_str(b.sim_time_us)});
+  }
+  if (a.tasks != b.tasks) {
+    diffs.push_back({"tasks", u64_str(a.tasks), u64_str(b.tasks)});
+  }
+  if (a.messages != b.messages) {
+    diffs.push_back({"messages", u64_str(a.messages), u64_str(b.messages)});
+  }
+  if (a.bytes != b.bytes) {
+    diffs.push_back({"bytes", u64_str(a.bytes), u64_str(b.bytes)});
+  }
+  if (a.updates_created != b.updates_created) {
+    diffs.push_back({"updates_created", u64_str(a.updates_created),
+                     u64_str(b.updates_created)});
+  }
+  if (a.cycles != b.cycles) {
+    diffs.push_back({"cycles", u64_str(a.cycles), u64_str(b.cycles)});
+  }
+  if (compare_events && a.events != b.events) {
+    diffs.push_back({"events", u64_str(a.events), u64_str(b.events)});
+  }
+  return diffs;
+}
+
+/// Prints every diverging field with both values, then exits 4.
+[[noreturn]] void die_divergence(const std::string& context,
+                                 const std::vector<FieldDiff>& diffs) {
+  for (const FieldDiff& d : diffs) {
+    std::fprintf(stderr, "wallclock: %s: %s diverged (%s vs %s)\n",
+                 context.c_str(), d.field, d.a.c_str(), d.b.c_str());
+  }
+  std::exit(4);
+}
+
+/// Runs `trials` identical queries of `solver` on `csr` (already
+/// relabeled when `remap` is set; the source is mapped in and the
+/// distances mapped back out, so Sample::dist and the checksum are in
+/// original labels regardless of mode).
 Sample run_one(const std::string& solver, const stats::ExperimentSpec& spec,
-               const graph::Csr& csr, std::uint32_t trials,
-               unsigned threads) {
+               const graph::Csr& csr, const graph::Remap* remap,
+               std::uint32_t trials, unsigned threads) {
   Sample sample;
   sample.wall_best_s = 1e300;
+  const graph::VertexId source =
+      remap != nullptr ? remap->map_vertex(spec.source) : spec.source;
   for (std::uint32_t trial = 0; trial < trials; ++trial) {
     runtime::Machine machine(spec.topology());
     machine.set_threads(threads);
     sssp::SolverOptions opts;
     const auto start = std::chrono::steady_clock::now();
-    const sssp::SolverRun run =
-        sssp::run_solver(solver, machine, csr, spec.source, opts);
+    sssp::SolverRun run =
+        sssp::run_solver(solver, machine, csr, source, opts);
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - start;
     sample.wall_best_s = std::min(sample.wall_best_s, wall.count());
@@ -89,30 +181,75 @@ Sample run_one(const std::string& solver, const stats::ExperimentSpec& spec,
 
     // Every trial replays the identical simulation, so the simulated-side
     // numbers are recorded once and cross-checked on the repeats.
-    std::uint64_t tasks = 0;
+    Sample now;
     for (runtime::PeId p = 0; p < machine.num_pes(); ++p) {
-      tasks += machine.pe_tasks_run(p);
+      now.tasks += machine.pe_tasks_run(p);
     }
-    const std::uint64_t checksum = checksum_distances(run.sssp.dist);
+    now.events = machine.total_events_processed();
+    now.messages = machine.total_messages_sent();
+    now.bytes = machine.total_bytes_sent();
+    now.sim_time_us = run.sssp.metrics.sim_time_us;
+    now.updates_created = run.sssp.metrics.updates_created;
+    now.cycles = run.telemetry.cycles;
+    std::vector<graph::Dist> dist =
+        remap != nullptr ? remap->unmap_distances(run.sssp.dist)
+                         : std::move(run.sssp.dist);
+    now.dist_checksum = checksum_distances(dist);
     if (trial == 0) {
-      sample.events = machine.total_events_processed();
-      sample.tasks = tasks;
-      sample.messages = machine.total_messages_sent();
-      sample.bytes = machine.total_bytes_sent();
-      sample.sim_time_us = run.sssp.metrics.sim_time_us;
-      sample.updates_created = run.sssp.metrics.updates_created;
-      sample.cycles = run.telemetry.cycles;
-      sample.dist_checksum = checksum;
-    } else if (checksum != sample.dist_checksum ||
-               tasks != sample.tasks) {
-      std::fprintf(stderr,
-                   "wallclock: nondeterminism! %s trial %u diverged "
-                   "(checksum %016" PRIx64 " vs %016" PRIx64 ")\n",
-                   solver.c_str(), trial, checksum, sample.dist_checksum);
-      std::exit(4);
+      const double wall_best = sample.wall_best_s;
+      const double wall_mean = sample.wall_mean_s;
+      sample = std::move(now);
+      sample.wall_best_s = wall_best;
+      sample.wall_mean_s = wall_mean;
+      sample.dist = std::move(dist);
+    } else {
+      const auto diffs = diff_samples(sample, now, /*compare_events=*/true);
+      if (!diffs.empty()) {
+        die_divergence("nondeterminism! " + solver + " trial " +
+                           std::to_string(trial) + " vs trial 0",
+                       diffs);
+      }
     }
   }
   return sample;
+}
+
+/// Per-locality-tier traffic, from one extra untimed serial run with an
+/// observability registry attached (src/obs/ publishes net/* counters by
+/// tier; Machine itself only tracks totals).  The registry-equivalence
+/// tests pin these counts to the uninstrumented run's behaviour.
+struct TierTraffic {
+  std::uint64_t messages_self = 0;
+  std::uint64_t messages_intra_process = 0;
+  std::uint64_t messages_intra_node = 0;
+  std::uint64_t messages_inter_node = 0;
+  std::uint64_t bytes_self = 0;
+  std::uint64_t bytes_intra_process = 0;
+  std::uint64_t bytes_intra_node = 0;
+  std::uint64_t bytes_inter_node = 0;
+};
+
+TierTraffic collect_tiers(const std::string& solver,
+                          const stats::ExperimentSpec& spec,
+                          const graph::Csr& csr,
+                          const graph::Remap* remap) {
+  runtime::Machine machine(spec.topology());
+  obs::Registry registry(machine.topology());
+  sssp::SolverOptions opts;
+  opts.registry = &registry;
+  const graph::VertexId source =
+      remap != nullptr ? remap->map_vertex(spec.source) : spec.source;
+  sssp::run_solver(solver, machine, csr, source, opts);
+  TierTraffic t;
+  t.messages_self = registry.total("net/messages_self");
+  t.messages_intra_process = registry.total("net/messages_intra_process");
+  t.messages_intra_node = registry.total("net/messages_intra_node");
+  t.messages_inter_node = registry.total("net/messages_inter_node");
+  t.bytes_self = registry.total("net/bytes_self");
+  t.bytes_intra_process = registry.total("net/bytes_intra_process");
+  t.bytes_intra_node = registry.total("net/bytes_intra_node");
+  t.bytes_inter_node = registry.total("net/bytes_inter_node");
+  return t;
 }
 
 std::string slurp(const std::string& path) {
@@ -141,22 +278,43 @@ std::string extract_object(const std::string& text, const std::string& key) {
   return {};
 }
 
-/// Finds `"events_per_sec": <num>` inside the results entry for
+///// Finds `"events_per_sec": <num>` inside the results entry for
 /// (solver, scale, threads); falls back to the pre-threads entry format
-/// (no "threads" field) so old baseline files stay checkable.  0.0 if
-/// absent.
+/// (no "threads" field) so old baseline files stay checkable.  The
+/// search starts at the last top-level `"results"` array so an embedded
+/// `pre_pr` record (whose entries now carry the same fields) is never
+/// matched.  With --reorder, identity entries are emitted first per
+/// (solver, scale, threads), so the first match — and thus the
+/// regression gate — always compares identity against identity.  0.0
+/// if absent.
 double find_events_per_sec(const std::string& text, const std::string& solver,
                            std::uint32_t scale, unsigned threads) {
+  std::size_t from = text.rfind("\"results\": [");
+  if (from == std::string::npos) from = 0;
   const std::string base_key =
       "\"solver\": \"" + solver + "\", \"scale\": " + std::to_string(scale);
-  std::size_t at =
-      text.find(base_key + ", \"threads\": " + std::to_string(threads));
-  if (at == std::string::npos) at = text.find(base_key);
+  std::size_t at = text.find(
+      base_key + ", \"threads\": " + std::to_string(threads), from);
+  if (at == std::string::npos) at = text.find(base_key, from);
   if (at == std::string::npos) return 0.0;
   const std::string field = "\"events_per_sec\": ";
   const std::size_t f = text.find(field, at);
   if (f == std::string::npos) return 0.0;
   return std::strtod(text.c_str() + f + field.size(), nullptr);
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) out.push_back(tok);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace
@@ -182,18 +340,7 @@ int main(int argc, char** argv) {
         bench::parse_threads_list(opts.get("threads", ""), "threads");
   }
 
-  std::vector<std::string> solvers;
-  {
-    std::size_t pos = 0;
-    while (pos <= solvers_csv.size()) {
-      const std::size_t comma = solvers_csv.find(',', pos);
-      const std::string tok = solvers_csv.substr(
-          pos, comma == std::string::npos ? comma : comma - pos);
-      if (!tok.empty()) solvers.push_back(tok);
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-  }
+  const std::vector<std::string> solvers = split_csv(solvers_csv);
   for (const std::string& solver : solvers) {
     if (!sssp::has_solver(solver)) {
       std::fprintf(stderr, "wallclock: unknown solver '%s'\n",
@@ -201,6 +348,24 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Reorder modes.  Identity always runs (first) when any other mode is
+  // requested: it is both the gate's baseline and the distance-equality
+  // reference every relabeled run is validated against.
+  std::vector<graph::ReorderMode> reorder_modes;
+  for (const std::string& name :
+       split_csv(opts.get("reorder", "identity"))) {
+    reorder_modes.push_back(graph::reorder_mode_from_string(name));
+  }
+  if (reorder_modes.empty()) {
+    reorder_modes.push_back(graph::ReorderMode::kIdentity);
+  }
+  if (std::find(reorder_modes.begin(), reorder_modes.end(),
+                graph::ReorderMode::kIdentity) == reorder_modes.end()) {
+    reorder_modes.insert(reorder_modes.begin(),
+                         graph::ReorderMode::kIdentity);
+  }
+  const bool multi_mode = reorder_modes.size() > 1;
 
   stats::ExperimentSpec base;
   base.graph = stats::graph_kind_from_string(opts.get("graph", "random"));
@@ -225,74 +390,143 @@ int main(int argc, char** argv) {
     const graph::Csr csr = stats::build_graph(spec);
     std::printf("scale %u: |V|=%u |E|=%llu\n", scale, csr.num_vertices(),
                 static_cast<unsigned long long>(csr.num_edges()));
-    for (const std::string& solver : solvers) {
-      double wall_1thread = -1.0;
-      Sample reference;
-      bool have_reference = false;
-      for (const unsigned threads : threads_list) {
-        const Sample s = run_one(solver, spec, csr, trials, threads);
-        if (!have_reference) {
-          reference = s;
-          have_reference = true;
-        } else if (s.dist_checksum != reference.dist_checksum ||
-                   s.sim_time_us != reference.sim_time_us ||
-                   s.tasks != reference.tasks) {
-          std::fprintf(stderr,
-                       "wallclock: %s diverged at %u threads "
-                       "(checksum %016" PRIx64 " vs %016" PRIx64
-                       ", sim %.6f vs %.6f)\n",
-                       solver.c_str(), threads, s.dist_checksum,
-                       reference.dist_checksum, s.sim_time_us,
-                       reference.sim_time_us);
-          std::exit(4);
-        }
-        if (threads == 1) wall_1thread = s.wall_best_s;
-        // Speedup is only meaningful when the sweep includes a 1-thread
-        // reference (e.g. the scale-22 CI step runs --threads 4 alone).
-        char speedup_text[32];
-        char speedup_json[32];
-        if (wall_1thread > 0.0) {
-          const double speedup = wall_1thread / s.wall_best_s;
-          std::snprintf(speedup_text, sizeof(speedup_text), "%.2f", speedup);
-          std::snprintf(speedup_json, sizeof(speedup_json), "%.3f", speedup);
-        } else {
-          std::snprintf(speedup_text, sizeof(speedup_text), "n/a");
-          std::snprintf(speedup_json, sizeof(speedup_json), "null");
-        }
-        const double events_per_sec =
-            static_cast<double>(s.events) / s.wall_best_s;
-        const double tasks_per_sec =
-            static_cast<double>(s.tasks) / s.wall_best_s;
-        std::printf(
-            "  %-20s t=%-2u wall=%.3fs (best of %u)  %.3gM events/s  "
-            "%.3gM tasks/s  speedup=%s  sim=%.0fus  "
-            "checksum=%016" PRIx64 "\n",
-            solver.c_str(), threads, s.wall_best_s, trials,
-            events_per_sec * 1e-6, tasks_per_sec * 1e-6, speedup_text,
-            s.sim_time_us, s.dist_checksum);
-        std::fflush(stdout);
 
-        char entry[1024];
-        std::snprintf(
-            entry, sizeof(entry),
-            "    {\"solver\": \"%s\", \"scale\": %u, \"threads\": %u, "
-            "\"wall_seconds_best\": %.6f, \"wall_seconds_mean\": %.6f, "
-            "\"events\": %llu, \"tasks\": %llu, \"messages\": %llu, "
-            "\"bytes\": %llu, \"events_per_sec\": %.1f, "
-            "\"tasks_per_sec\": %.1f, \"speedup_vs_1thread\": %s, "
-            "\"sim_time_us\": %.6f, "
-            "\"updates_created\": %llu, \"cycles\": %llu, "
-            "\"dist_checksum\": \"%016" PRIx64 "\"}",
-            solver.c_str(), scale, threads, s.wall_best_s, s.wall_mean_s,
-            static_cast<unsigned long long>(s.events),
-            static_cast<unsigned long long>(s.tasks),
-            static_cast<unsigned long long>(s.messages),
-            static_cast<unsigned long long>(s.bytes), events_per_sec,
-            tasks_per_sec, speedup_json, s.sim_time_us,
-            static_cast<unsigned long long>(s.updates_created),
-            static_cast<unsigned long long>(s.cycles), s.dist_checksum);
-        if (!results.empty()) results += ",\n";
-        results += entry;
+    // Relabeled copies, built once per scale outside every timed region
+    // so reordered wall numbers measure the solver, not the relabel.
+    std::vector<std::unique_ptr<graph::Remap>> remaps(reorder_modes.size());
+    for (std::size_t m = 0; m < reorder_modes.size(); ++m) {
+      if (reorder_modes[m] != graph::ReorderMode::kIdentity) {
+        remaps[m] = std::make_unique<graph::Remap>(
+            csr, reorder_modes[m], threads_list.back());
+      }
+    }
+
+    for (const std::string& solver : solvers) {
+      std::vector<graph::Dist> identity_dist;
+      for (std::size_t m = 0; m < reorder_modes.size(); ++m) {
+        const graph::ReorderMode mode = reorder_modes[m];
+        const char* mode_name = graph::reorder_mode_name(mode);
+        const graph::Remap* remap = remaps[m].get();
+        const graph::Csr& run_csr =
+            remap != nullptr ? remap->csr() : csr;
+
+        const TierTraffic tiers =
+            collect_tiers(solver, spec, run_csr, remap);
+
+        double wall_1thread = -1.0;
+        Sample reference;
+        bool have_reference = false;
+        for (const unsigned threads : threads_list) {
+          Sample s = run_one(solver, spec, run_csr, remap, trials, threads);
+          if (!have_reference) {
+            reference = std::move(s);
+            have_reference = true;
+            // Validate the reorder half: distances mapped back to
+            // original labels must match the identity run exactly.
+            if (mode == graph::ReorderMode::kIdentity) {
+              identity_dist = reference.dist;
+            } else {
+              for (std::size_t v = 0; v < identity_dist.size(); ++v) {
+                if (reference.dist[v] != identity_dist[v]) {
+                  std::fprintf(
+                      stderr,
+                      "wallclock: %s reorder=%s: distance diverged at "
+                      "vertex %zu (%.17g vs identity %.17g)\n",
+                      solver.c_str(), mode_name, v, reference.dist[v],
+                      identity_dist[v]);
+                  std::exit(4);
+                }
+              }
+            }
+          } else {
+            const auto diffs =
+                diff_samples(s, reference, /*compare_events=*/false);
+            if (!diffs.empty()) {
+              die_divergence(solver + " reorder=" + mode_name + " at " +
+                                 std::to_string(threads) +
+                                 " threads vs first thread count",
+                             diffs);
+            }
+            reference.wall_best_s = s.wall_best_s;
+            reference.wall_mean_s = s.wall_mean_s;
+          }
+          const Sample& cur = reference;
+          if (threads == 1) wall_1thread = cur.wall_best_s;
+          // Speedup is only meaningful when the sweep includes a
+          // 1-thread reference (e.g. the scale-22 CI step runs
+          // --threads 4 alone).
+          char speedup_text[32];
+          char speedup_json[32];
+          if (wall_1thread > 0.0) {
+            const double speedup = wall_1thread / cur.wall_best_s;
+            std::snprintf(speedup_text, sizeof(speedup_text), "%.2f",
+                          speedup);
+            std::snprintf(speedup_json, sizeof(speedup_json), "%.3f",
+                          speedup);
+          } else {
+            std::snprintf(speedup_text, sizeof(speedup_text), "n/a");
+            std::snprintf(speedup_json, sizeof(speedup_json), "null");
+          }
+          const double events_per_sec =
+              static_cast<double>(cur.events) / cur.wall_best_s;
+          const double tasks_per_sec =
+              static_cast<double>(cur.tasks) / cur.wall_best_s;
+          std::printf(
+              "  %-20s %s t=%-2u wall=%.3fs (best of %u)  "
+              "%.3gM events/s  %.3gM tasks/s  speedup=%s  sim=%.0fus  "
+              "checksum=%016" PRIx64 "\n",
+              solver.c_str(),
+              multi_mode ? mode_name : "", threads, cur.wall_best_s,
+              trials, events_per_sec * 1e-6, tasks_per_sec * 1e-6,
+              speedup_text, cur.sim_time_us, cur.dist_checksum);
+          std::fflush(stdout);
+
+          char entry[1536];
+          std::snprintf(
+              entry, sizeof(entry),
+              "    {\"solver\": \"%s\", \"scale\": %u, \"threads\": %u, "
+              "\"reorder\": \"%s\", "
+              "\"wall_seconds_best\": %.6f, \"wall_seconds_mean\": %.6f, "
+              "\"events\": %llu, \"tasks\": %llu, \"messages\": %llu, "
+              "\"bytes\": %llu, \"events_per_sec\": %.1f, "
+              "\"tasks_per_sec\": %.1f, \"speedup_vs_1thread\": %s, "
+              "\"sim_time_us\": %.6f, "
+              "\"updates_created\": %llu, \"cycles\": %llu, "
+              "\"messages_inter_node\": %llu, "
+              "\"bytes_inter_node\": %llu, "
+              "\"messages_intra_node\": %llu, "
+              "\"bytes_intra_node\": %llu, "
+              "\"messages_intra_process\": %llu, "
+              "\"bytes_intra_process\": %llu, "
+              "\"dist_checksum\": \"%016" PRIx64 "\"}",
+              solver.c_str(), scale, threads, mode_name, cur.wall_best_s,
+              cur.wall_mean_s, static_cast<unsigned long long>(cur.events),
+              static_cast<unsigned long long>(cur.tasks),
+              static_cast<unsigned long long>(cur.messages),
+              static_cast<unsigned long long>(cur.bytes), events_per_sec,
+              tasks_per_sec, speedup_json, cur.sim_time_us,
+              static_cast<unsigned long long>(cur.updates_created),
+              static_cast<unsigned long long>(cur.cycles),
+              static_cast<unsigned long long>(tiers.messages_inter_node),
+              static_cast<unsigned long long>(tiers.bytes_inter_node),
+              static_cast<unsigned long long>(tiers.messages_intra_node),
+              static_cast<unsigned long long>(tiers.bytes_intra_node),
+              static_cast<unsigned long long>(tiers.messages_intra_process),
+              static_cast<unsigned long long>(tiers.bytes_intra_process),
+              cur.dist_checksum);
+          if (!results.empty()) results += ",\n";
+          results += entry;
+        }
+        if (multi_mode) {
+          std::printf(
+              "  %-20s %s tiers: inter-node %llu msgs / %.2f MB, "
+              "intra-node %llu msgs, intra-process %llu msgs\n",
+              solver.c_str(), mode_name,
+              static_cast<unsigned long long>(tiers.messages_inter_node),
+              static_cast<double>(tiers.bytes_inter_node) * 1e-6,
+              static_cast<unsigned long long>(tiers.messages_intra_node),
+              static_cast<unsigned long long>(tiers.messages_intra_process));
+        }
       }
     }
   }

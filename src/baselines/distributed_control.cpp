@@ -8,6 +8,7 @@
 #include "src/runtime/collectives.hpp"
 #include "src/sssp/update.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/prefetch.hpp"
 
 namespace acic::baselines {
 
@@ -53,9 +54,8 @@ class DcEngine {
       state.dist.assign(state.last - state.first, graph::kInfDist);
     }
 
-    tram_ = std::make_unique<tram::Tram<Update>>(
-        machine_, config_.tram,
-        [this](Pe& pe, const Update& u) { on_deliver(pe, u); });
+    tram_ = std::make_unique<UpdateTram>(machine_, config_.tram,
+                                         Deliver{this});
 
     detector_ = std::make_unique<runtime::TerminationDetector>(
         machine_,
@@ -119,6 +119,26 @@ class DcEngine {
   }
 
  private:
+  /// Concrete delivery functor: inlined dispatch, derived targets and
+  /// PrefEdge-style lookahead.  The async baseline (use_priority off)
+  /// expands straight from on_deliver, so the CSR offsets row is warmed
+  /// alongside the distance slot.
+  struct Deliver {
+    DcEngine* engine;
+    void operator()(Pe& pe, const Update& u) const {
+      engine->on_deliver(pe, u);
+    }
+    PeId target_of(const Update& u) const {
+      return engine->partition_.owner(u.vertex);
+    }
+    void prefetch(Pe& pe, const Update& u) const {
+      const PeState& state = engine->pes_[pe.id()];
+      util::prefetch_read(state.dist.data() + (u.vertex - state.first));
+      util::prefetch_read(engine->csr_.offsets().data() + u.vertex);
+    }
+  };
+  using UpdateTram = tram::Tram<Update, Deliver>;
+
   void create_update(Pe& pe, VertexId target, Dist d) {
     ++pes_[pe.id()].created;
     tram_->insert(pe, partition_.owner(target), Update{target, d});
@@ -154,6 +174,14 @@ class DcEngine {
       pe.charge(config_.costs.pq_op_us);
       const Update u = state.pq.top();
       state.pq.pop();
+      // The new top is almost always the next pop of this batch: warm
+      // its distance slot and CSR row behind u's expansion.
+      if (!state.pq.empty()) {
+        const Update& ahead = state.pq.top();
+        util::prefetch_read(state.dist.data() +
+                            (ahead.vertex - state.first));
+        util::prefetch_read(csr_.offsets().data() + ahead.vertex);
+      }
       any = true;
       const VertexId local = u.vertex - state.first;
       if (state.dist[local] == u.dist) {
@@ -183,7 +211,7 @@ class DcEngine {
 
   std::vector<PeState> pes_;
   std::vector<runtime::IdleHandlerId> idle_handler_ids_;
-  std::unique_ptr<tram::Tram<Update>> tram_;
+  std::unique_ptr<UpdateTram> tram_;
   std::unique_ptr<runtime::TerminationDetector> detector_;
 };
 

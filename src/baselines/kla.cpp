@@ -8,6 +8,7 @@
 
 #include "src/runtime/collectives.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/prefetch.hpp"
 
 namespace acic::baselines {
 
@@ -82,9 +83,8 @@ class KlaEngine {
 
     tram::TramConfig tram_config = config_.tram;
     tram_config.item_bytes = sizeof(KlaUpdate);
-    tram_ = std::make_unique<tram::Tram<KlaUpdate>>(
-        machine_, tram_config,
-        [this](Pe& pe, const KlaUpdate& u) { on_deliver(pe, u); });
+    tram_ = std::make_unique<UpdateTram>(machine_, tram_config,
+                                         Deliver{this});
 
     build_reducer();
 
@@ -136,6 +136,26 @@ class KlaEngine {
   }
 
  private:
+  /// Concrete delivery functor: inlined dispatch, derived targets (no
+  /// per-entry target field in tram buffers) and PrefEdge-style
+  /// lookahead — KLA expands on arrival while within the hop budget, so
+  /// both the distance slot and the CSR offsets row are warmed.
+  struct Deliver {
+    KlaEngine* engine;
+    void operator()(Pe& pe, const KlaUpdate& u) const {
+      engine->on_deliver(pe, u);
+    }
+    PeId target_of(const KlaUpdate& u) const {
+      return engine->partition_.owner(u.vertex);
+    }
+    void prefetch(Pe& pe, const KlaUpdate& u) const {
+      const PeState& state = engine->pes_[pe.id()];
+      util::prefetch_read(state.dist.data() + (u.vertex - state.first));
+      util::prefetch_read(engine->csr_.offsets().data() + u.vertex);
+    }
+  };
+  using UpdateTram = tram::Tram<KlaUpdate, Deliver>;
+
   void send_relax(Pe& pe, VertexId target, Dist d, std::uint32_t hops) {
     PeState& state = pes_[pe.id()];
     ++state.created;
@@ -180,7 +200,16 @@ class KlaEngine {
     state.k = k;
     std::vector<VertexId> frontier;
     frontier.swap(state.deferred);
-    for (const VertexId v : frontier) {
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      // Warm item i+N's CSR offsets and distance slot behind N rows of
+      // relaxation work.
+      if (i + util::kExpandPrefetchLookahead < frontier.size()) {
+        const VertexId ahead =
+            frontier[i + util::kExpandPrefetchLookahead];
+        util::prefetch_read(csr_.offsets().data() + ahead);
+        util::prefetch_read(state.dist.data() + (ahead - state.first));
+      }
+      const VertexId v = frontier[i];
       const VertexId local = v - state.first;
       state.deferred_flag[local] = false;
       for (const graph::Neighbor& nb : csr_.out_neighbors(v)) {
@@ -293,7 +322,7 @@ class KlaEngine {
   std::uint32_t k_;
 
   std::vector<PeState> pes_;
-  std::unique_ptr<tram::Tram<KlaUpdate>> tram_;
+  std::unique_ptr<UpdateTram> tram_;
   std::unique_ptr<runtime::Reducer> reducer_;
 
   bool drained_armed_ = false;

@@ -13,6 +13,7 @@
 #include "src/tram/tram.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/dary_heap.hpp"
+#include "src/util/prefetch.hpp"
 
 namespace acic::core {
 
@@ -247,6 +248,15 @@ class AcicEngine::Impl {
     PeId target_of(const UpdateMsg& u) const {
       return impl->partition_.owner(u.vertex);
     }
+    /// Called by deliver_batch a few items ahead of dispatch: warm the
+    /// distance slot on_deliver will compare against and the CSR offsets
+    /// entry a subsequent expansion reads first.  Hint only — the
+    /// simulation is bit-identical with or without it.
+    void prefetch(Pe& pe, const UpdateMsg& u) const {
+      const PeState& state = impl->pes_[pe.id()];
+      util::prefetch_read(state.dist.data() + (u.vertex - state.first));
+      util::prefetch_read(impl->csr_.offsets().data() + u.vertex);
+    }
   };
   using UpdateTram = tram::Tram<UpdateMsg, Deliver>;
 
@@ -334,6 +344,15 @@ class AcicEngine::Impl {
          i < config_.pq_drain_batch && !state.pq.empty(); ++i) {
       pe.charge(config_.costs.pq_op_us);
       const UpdateMsg u = state.pq.pop_top();
+      // The heap's new top is almost always the next pop of this batch:
+      // start its distance-slot and CSR-row loads now, behind the
+      // expansion of u below (PrefEdge-style lookahead-1).
+      if (!state.pq.empty()) {
+        const UpdateMsg& ahead = state.pq.top();
+        util::prefetch_read(state.dist.data() +
+                            (ahead.vertex - state.first));
+        util::prefetch_read(csr_.offsets().data() + ahead.vertex);
+      }
       any = true;
       const VertexId local = u.vertex - state.first;
       if (state.dist[local] == u.dist) {

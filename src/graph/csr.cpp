@@ -106,6 +106,47 @@ Csr Csr::from_edge_list(const EdgeList& list, unsigned threads) {
   return csr;
 }
 
+Csr Csr::permuted(const std::vector<VertexId>& perm,
+                  unsigned threads) const {
+  const VertexId n = num_vertices();
+  ACIC_ASSERT_MSG(perm.size() == n,
+                  "permutation size must equal num_vertices");
+  // inverse[new] = old: new vertex nv inherits old vertex inverse[nv]'s
+  // out-edges.
+  std::vector<VertexId> inverse(n);
+  for (VertexId v = 0; v < n; ++v) {
+    ACIC_ASSERT_MSG(perm[v] < n, "permutation entry out of range");
+    inverse[perm[v]] = v;
+  }
+
+  Csr out;
+  out.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId nv = 0; nv < n; ++nv) {
+    out.offsets_[nv + 1] = out.offsets_[nv] + out_degree(inverse[nv]);
+  }
+  ACIC_ASSERT(out.offsets_[n] == num_edges());
+
+  out.neighbors_.resize(num_edges());
+  const std::size_t num_row_blocks =
+      (static_cast<std::size_t>(n) + kBlock - 1) / kBlock;
+  util::parallel_for(num_row_blocks, threads, [&](std::uint64_t b) {
+    const VertexId first = static_cast<VertexId>(b * kBlock);
+    const VertexId last =
+        static_cast<VertexId>(std::min<std::size_t>((b + 1) * kBlock, n));
+    for (VertexId nv = first; nv < last; ++nv) {
+      const std::span<const Neighbor> row = out_neighbors(inverse[nv]);
+      Neighbor* dst = out.neighbors_.data() + out.offsets_[nv];
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        dst[i] = Neighbor{perm[row[i].dst], row[i].weight};
+      }
+      // Relabeling scrambles the (dst, weight) order within the row;
+      // restore the canonical sort the builders guarantee.
+      std::sort(dst, dst + row.size(), neighbor_less);
+    }
+  });
+  return out;
+}
+
 std::size_t Csr::max_out_degree() const {
   std::size_t best = 0;
   for (VertexId v = 0; v < num_vertices(); ++v) {

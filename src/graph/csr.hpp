@@ -24,6 +24,14 @@ class Csr {
   /// the serial build at any thread count.
   static Csr from_edge_list(const EdgeList& list, unsigned threads = 1);
 
+  /// Returns the graph relabeled by `perm` (perm[old] = new): new vertex
+  /// perm[v] owns v's out-edges with every destination relabeled, rows
+  /// re-sorted to the canonical (dst, weight) order.  Rows are
+  /// independent, so the result is byte-identical at any thread count.
+  /// Used by the reorder layer (src/graph/reorder.hpp).
+  Csr permuted(const std::vector<VertexId>& perm,
+               unsigned threads = 1) const;
+
   VertexId num_vertices() const {
     return offsets_.empty() ? 0
                             : static_cast<VertexId>(offsets_.size() - 1);

@@ -37,6 +37,7 @@
 #include "src/baselines/kla.hpp"
 #include "src/core/config.hpp"
 #include "src/graph/csr.hpp"
+#include "src/graph/reorder.hpp"
 #include "src/runtime/machine.hpp"
 #include "src/sssp/result.hpp"
 
@@ -58,6 +59,17 @@ struct SolverOptions {
   std::string sequential_method = "dijkstra";
   /// Bucket width for sequential delta-stepping (0 = heuristic).
   double sequential_delta = 0.0;
+
+  /// Vertex reordering (src/graph/reorder.hpp): when not kIdentity,
+  /// run_solver relabels the graph, maps the source in, runs the solver
+  /// on the permuted CSR and inverse-permutes the distances back, so
+  /// callers see original-label results.  Distances are exactly equal to
+  /// the identity run's; simulated schedule/counters legitimately differ
+  /// (the relabeling changes which updates cross node boundaries).
+  graph::ReorderMode reorder = graph::ReorderMode::kIdentity;
+  /// Host threads for building the permuted CSR (output is identical at
+  /// any value).
+  unsigned reorder_threads = 1;
 
   runtime::SimTime time_limit_us = runtime::kNoTimeLimit;
 

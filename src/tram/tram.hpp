@@ -33,6 +33,7 @@
 #include "src/obs/registry.hpp"
 #include "src/runtime/machine.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/prefetch.hpp"
 
 namespace acic::tram {
 
@@ -227,6 +228,16 @@ class Tram {
       requires(const DeliverFn& d, const T& t) {
         { d.target_of(t) } -> std::convertible_to<runtime::PeId>;
       };
+  /// Optional second hook on concrete deliver functors: `prefetch(pe,
+  /// item)` is called kDeliverPrefetchLookahead items before the item is
+  /// dispatched, so the functor can issue software prefetches for the
+  /// state the dispatch will touch (distance slot, CSR offsets row).
+  /// Prefetches are pure hints — a functor with this hook delivers
+  /// bit-identical simulations.
+  static constexpr bool kHasPrefetch =
+      requires(const DeliverFn& d, runtime::Pe& pe, const T& t) {
+        d.prefetch(pe, t);
+      };
   struct EntryWithTarget {
     runtime::PeId target;
     T item;
@@ -414,12 +425,20 @@ class Tram {
     if (config_.registry == nullptr &&
         config_.debug_duplicate_every == 0) [[likely]] {
       const runtime::SimTime cost = config_.deliver_cost_us;
-      for (const Entry& entry : batch) {
+      const std::size_t count = batch.size();
+      constexpr std::size_t kLook = util::kDeliverPrefetchLookahead;
+      for (std::size_t i = 0; i < count; ++i) {
+        if constexpr (kHasPrefetch) {
+          if (i + kLook < count) {
+            deliver_.prefetch(pe, entry_item(batch[i + kLook]));
+          }
+        }
+        const Entry& entry = batch[i];
         ACIC_HOT_ASSERT(entry_target(entry) == pe.id());
         pe.charge(cost);
         deliver_(pe, entry_item(entry));
       }
-      nl.stats.items_delivered += batch.size();
+      nl.stats.items_delivered += count;
       return;
     }
     for (const Entry& entry : batch) {

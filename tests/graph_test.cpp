@@ -342,6 +342,91 @@ TEST(Partition1D, BalancedEdgesEvensOutSkew) {
   }
 }
 
+namespace {
+
+// owner() has three code paths (pow2 shift, branchless count for <=32
+// parts, upper_bound beyond); all must agree with the starts() ranges.
+void expect_owner_matches_starts(const Partition1D& partition) {
+  const auto& starts = partition.starts();
+  for (VertexId v = 0; v < partition.num_vertices(); ++v) {
+    const std::uint32_t owner = partition.owner(v);
+    ASSERT_LT(owner, partition.num_parts());
+    EXPECT_GE(v, starts[owner]);
+    EXPECT_LT(v, starts[owner + 1]);
+  }
+}
+
+}  // namespace
+
+TEST(Partition1D, OwnerAgreesWithStartsInAllThreeForms) {
+  // 1024/8: uniform power-of-two chunks -> the shift fast path.
+  expect_owner_matches_starts(Partition1D::block(1024, 8));
+  // 100/4: chunk 25 (not a power of two), parts <= 32 -> branchless count.
+  expect_owner_matches_starts(Partition1D::block(100, 4));
+  // 1000/40: parts > 32 -> upper_bound binary search.
+  expect_owner_matches_starts(Partition1D::block(1000, 40));
+
+  // balanced_edges starts are irregular; cover both owner() fallbacks.
+  GenParams params;
+  params.num_vertices = 512;
+  params.num_edges = 4096;
+  const Csr csr = Csr::from_edge_list(generate_rmat(params));
+  expect_owner_matches_starts(Partition1D::balanced_edges(csr, 8));
+  expect_owner_matches_starts(Partition1D::balanced_edges(csr, 40));
+}
+
+TEST(Partition1D, BalancedEdgesSinglePartOwnsEverything) {
+  GenParams params;
+  params.num_vertices = 64;
+  params.num_edges = 256;
+  const Csr csr = Csr::from_edge_list(generate_uniform_random(params));
+  const auto partition = Partition1D::balanced_edges(csr, 1);
+  EXPECT_EQ(partition.num_parts(), 1u);
+  EXPECT_EQ(partition.begin(0), 0u);
+  EXPECT_EQ(partition.end(0), 64u);
+  expect_owner_matches_starts(partition);
+}
+
+TEST(Partition1D, BalancedEdgesZeroOutDegreeTail) {
+  // All edges originate from the first few vertices; the tail has zero
+  // out-degree.  Every vertex (including the tail) must still land in
+  // exactly one part, and ranges must stay monotone.
+  EdgeList list(50, {});
+  for (VertexId v = 0; v < 5; ++v) {
+    for (int i = 0; i < 20; ++i) {
+      list.add(v, static_cast<VertexId>((v + i + 1) % 50), 1.0);
+    }
+  }
+  const Csr csr = Csr::from_edge_list(list);
+  const auto partition = Partition1D::balanced_edges(csr, 4);
+  EXPECT_EQ(partition.num_vertices(), 50u);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_LE(partition.begin(p), partition.end(p));
+  }
+  EXPECT_EQ(partition.end(3), 50u);
+  expect_owner_matches_starts(partition);
+}
+
+TEST(Partition1D, BalancedEdgesMorePartsThanVertices) {
+  EdgeList list(3, {});
+  list.add(0, 1, 1.0);
+  list.add(1, 2, 1.0);
+  list.add(2, 0, 1.0);
+  const Csr csr = Csr::from_edge_list(list);
+  const auto partition = Partition1D::balanced_edges(csr, 8);
+  EXPECT_EQ(partition.num_parts(), 8u);
+  EXPECT_EQ(partition.num_vertices(), 3u);
+  // The trailing parts are empty (pinned at |V|) but ranges stay
+  // monotone and contiguous, and every vertex has exactly one owner.
+  VertexId covered = 0;
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(partition.begin(p), covered);
+    covered = partition.end(p);
+  }
+  EXPECT_EQ(covered, 3u);
+  expect_owner_matches_starts(partition);
+}
+
 TEST(Partition2D, GroupOwnerBijection) {
   GenParams params;
   params.num_vertices = 256;
