@@ -11,6 +11,7 @@
 //
 //   ./bench/server_load [--scale N] [--queries Q] [--inflight K]
 //                       [--qps a,b,c] [--caches a,b,c] [--csv PATH]
+//                       [--mutation-rate R] [--mutation-batch B]
 //                       [--trace-json PATH] [--obs-csv PATH]
 //
 // With --trace-json / --obs-csv the *last* sweep configuration runs
@@ -18,10 +19,22 @@
 // and exports them — a long serving run records unboundedly many spans,
 // so the tracer keeps a sliding window of the most recent ones
 // (Tracer::set_capacity) and reports what it dropped.
+//
+// --mutation-rate R (edge mutations per simulated second; batches of
+// --mutation-batch, default 8) switches every cell to dynamic serving:
+// the service runs on a DynamicGraph and a deterministic mutation
+// stream applies under load.  The churn counters
+// ("server/mutations_applied", "cache/invalidations",
+// "cache/stale_hits_prevented", "server/repair_queries", ...) then ride
+// the --obs-csv timeseries export, and the observed cell additionally
+// prints per-region cache-eviction rollups ("cache/invalidations" is
+// attributed to the partition block owning each mutated edge's head).
 
 #include <cstdio>
+#include <optional>
 
 #include "bench/bench_common.hpp"
+#include "src/dynamic/dynamic_graph.hpp"
 #include "src/graph/generators.hpp"
 #include "src/graph/partition.hpp"
 #include "src/runtime/machine.hpp"
@@ -37,8 +50,13 @@ int main(int argc, char** argv) {
       graph::VertexId{1} << static_cast<unsigned>(opts.get_int("scale", 9));
   params.num_edges = params.num_vertices * 16ull;
   params.seed = 1;
-  const graph::Csr csr =
-      graph::Csr::from_edge_list(graph::generate_uniform_random(params));
+  const graph::EdgeList edge_list = graph::generate_uniform_random(params);
+  const graph::Csr csr = graph::Csr::from_edge_list(edge_list);
+
+  const auto mutation_rate =
+      static_cast<std::uint32_t>(opts.get_int("mutation-rate", 0));
+  const auto mutation_batch = static_cast<std::size_t>(
+      opts.get_int("mutation-batch", 8));
 
   const auto queries =
       static_cast<std::uint64_t>(opts.get_int("queries", 150));
@@ -58,7 +76,7 @@ int main(int argc, char** argv) {
 
   util::Table table({"cache", "offered_qps", "throughput_qps", "p50_us",
                      "p95_us", "p99_us", "mean_wait_us", "max_depth",
-                     "hit_rate"});
+                     "hit_rate", "invalidations", "repaired"});
 
   const bool want_obs = opts.has("trace-json") || opts.has("obs-csv");
   const runtime::Topology topo{2, 2, 2};
@@ -87,17 +105,42 @@ int main(int argc, char** argv) {
         config.tracer = &tracer;
         runtime::attach_tracer(machine, tracer);
       }
-      server::QueryService service(machine, csr, partition, config);
+      // Each cell mutates its own DynamicGraph, so dynamic mode builds a
+      // fresh one from the shared edge list.  QueryService is pinned in
+      // place (non-movable), hence the optional + emplace.
+      std::optional<dynamic::DynamicGraph> dyn;
+      std::optional<server::QueryService> service;
+      if (mutation_rate > 0) {
+        dyn.emplace(edge_list);
+        service.emplace(machine, *dyn, partition, config);
+      } else {
+        service.emplace(machine, csr, partition, config);
+      }
 
       server::WorkloadConfig wl;
       wl.seed = 7;
       wl.qps = static_cast<double>(qps);
       wl.num_queries = queries;
       wl.source_universe = 32;
-      service.submit(server::generate_workload(wl, csr.num_vertices()));
-      service.run();
+      service->submit(server::generate_workload(wl, csr.num_vertices()));
+      if (dyn.has_value()) {
+        server::MutationWorkloadConfig mw;
+        mw.seed = 13;
+        mw.mutation_rate = static_cast<double>(mutation_rate);
+        mw.batch_size = mutation_batch;
+        // Cover the query stream's offered span with mutation traffic.
+        const double span_s = static_cast<double>(queries) /
+                              static_cast<double>(qps);
+        mw.num_batches = static_cast<std::uint64_t>(
+            span_s * static_cast<double>(mutation_rate) /
+                static_cast<double>(mutation_batch) +
+            1.0);
+        service->submit_mutations(
+            server::generate_mutation_stream(mw, dyn->csr()));
+      }
+      service->run();
 
-      const server::ServiceSummary s = service.summary();
+      const server::ServiceSummary s = service->summary();
       table.add_row({util::strformat("%u", cache_cap),
                      util::strformat("%u", qps),
                      util::strformat("%.1f", s.throughput_qps),
@@ -106,9 +149,27 @@ int main(int argc, char** argv) {
                      util::strformat("%.1f", s.p99_latency_us),
                      util::strformat("%.1f", s.mean_queue_wait_us),
                      util::strformat("%u", s.max_queue_depth),
-                     util::strformat("%.3f", s.cache_hit_rate)});
+                     util::strformat("%.3f", s.cache_hit_rate),
+                     util::strformat("%llu", static_cast<unsigned long long>(
+                                                 s.cache_invalidations)),
+                     util::strformat("%llu", static_cast<unsigned long long>(
+                                                 s.repaired_queries))});
       if (observed) {
         bench::export_observability(opts, topo, &tracer, &registry);
+        // Per-region eviction rollups: "cache/invalidations" increments
+        // are attributed to the partition block (node) owning the
+        // mutated edge's head vertex.
+        if (mutation_rate > 0) {
+          const obs::CounterId id =
+              registry.counter("cache/invalidations");
+          std::printf("  cache invalidations by region:");
+          for (std::uint32_t n = 0; n < topo.nodes; ++n) {
+            std::printf(" node%u=%llu", n,
+                        static_cast<unsigned long long>(
+                            registry.at(id, obs::Scope::node(n))));
+          }
+          std::printf("\n");
+        }
       }
     }
   }

@@ -128,11 +128,20 @@ class AcicEngine::Impl {
                     "partition parts must equal worker PE count");
     ACIC_ASSERT(source < csr.num_vertices());
 
+    ACIC_ASSERT_MSG(options_.warm_dist == nullptr ||
+                        options_.warm_dist->size() == csr.num_vertices(),
+                    "warm_dist must cover every vertex");
     for (PeId p = 0; p < machine_.num_pes(); ++p) {
       PeState& state = pes_[p];
       state.first = partition.begin(p);
       state.last = partition.end(p);
-      state.dist.assign(state.last - state.first, graph::kInfDist);
+      if (options_.warm_dist != nullptr) {
+        state.dist.assign(
+            options_.warm_dist->begin() + state.first,
+            options_.warm_dist->begin() + state.last);
+      } else {
+        state.dist.assign(state.last - state.first, graph::kInfDist);
+      }
       state.histogram = UpdateHistogram(
           config_.num_buckets, config_.bucket_width, csr.num_vertices());
       state.tram_hold = BucketedHold(config_.num_buckets);
@@ -184,13 +193,36 @@ class AcicEngine::Impl {
           }));
     }
 
-    // Inject the source update before the first contributions are
-    // scheduled so the initial reduction can never observe 0 == 0.
+    // Inject the initial updates before the first contributions are
+    // scheduled so the initial reduction can never observe a spurious
+    // created == processed (a cold run terminating at 0 == 0 before the
+    // source update lands would be wrong; a warm run with no seeds is
+    // *correctly* quiescent, so its empty injection is fine).
     const runtime::SimTime start = options_.start_time_us;
-    const PeId source_owner = partition_.owner(source_);
-    machine_.schedule_at(start, source_owner, [this](Pe& pe) {
-      create_update(pe, source_, 0.0);
-    });
+    if (options_.warm_dist != nullptr) {
+      // Warm start: inject the repair seeds, grouped by owner so each
+      // owner creates its seeds in vector order — one deterministic
+      // schedule regardless of how many seeds a repair produced.
+      std::vector<std::vector<Update>> by_owner(machine_.num_pes());
+      for (const Update& seed : options_.seeds) {
+        ACIC_ASSERT(seed.vertex < csr.num_vertices());
+        by_owner[partition_.owner(seed.vertex)].push_back(seed);
+      }
+      for (PeId p = 0; p < machine_.num_pes(); ++p) {
+        if (by_owner[p].empty()) continue;
+        machine_.schedule_at(
+            start, p, [this, seeds = std::move(by_owner[p])](Pe& pe) {
+              for (const Update& seed : seeds) {
+                create_update(pe, seed.vertex, seed.dist);
+              }
+            });
+      }
+    } else {
+      const PeId source_owner = partition_.owner(source_);
+      machine_.schedule_at(start, source_owner, [this](Pe& pe) {
+        create_update(pe, source_, 0.0);
+      });
+    }
     for (PeId p = 0; p < machine_.num_pes(); ++p) {
       machine_.schedule_at(start, p, [this](Pe& pe) { contribute(pe); });
     }

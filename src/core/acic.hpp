@@ -31,6 +31,7 @@
 #include "src/graph/partition.hpp"
 #include "src/runtime/machine.hpp"
 #include "src/sssp/result.hpp"
+#include "src/sssp/update.hpp"
 
 namespace acic::core {
 
@@ -82,6 +83,26 @@ struct AcicEngineOptions {
   /// callback (engine code is still on the stack); schedule a separate
   /// task for retirement, as QueryService does.
   std::function<void(runtime::Pe&)> on_complete;
+
+  /// Warm start — the incremental-repair mode (src/dynamic/).  When
+  /// `warm_dist` is set (size |V|), every PE initializes its owned
+  /// distance slice from it instead of all-infinity, and the engine
+  /// injects `seeds` at start_time_us *instead of* the single
+  /// (source, 0) update.  Each seed (v, d) is created on v's owner in
+  /// vector order (sort by (vertex, dist) for a canonical schedule), and
+  /// is rejected on arrival exactly like any other update if d does not
+  /// improve warm_dist[v] — so redundant seeds cost one message, never
+  /// correctness.  An empty seed list quiesces after two reduction
+  /// cycles (0 created == 0 processed observed twice).  The repair
+  /// layer's contract: warm distances must be achievable path lengths in
+  /// the *current* graph (invalidated subtrees reset to +inf), and seeds
+  /// must cover every boundary edge into an invalidated region plus
+  /// every inserted/decreased edge that improves its head — then the
+  /// label-correcting fixed point equals the from-scratch distances,
+  /// which tests/dynamic_test.cpp asserts elementwise.  `warm_dist` must
+  /// outlive the constructor call only (the engine copies its slices).
+  const std::vector<graph::Dist>* warm_dist = nullptr;
+  std::vector<sssp::Update> seeds;
 };
 
 /// One ACIC SSSP query attached to a Machine.  Engines are per-query

@@ -1,0 +1,148 @@
+#include "src/dynamic/incremental.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "src/core/acic.hpp"
+#include "src/graph/partition.hpp"
+#include "src/runtime/machine.hpp"
+#include "src/util/assert.hpp"
+
+namespace acic::dynamic {
+
+using graph::VertexId;
+
+IncrementalSssp::IncrementalSssp(const DynamicGraph& graph,
+                                 VertexId source, IncrementalConfig config)
+    : graph_(graph), config_(std::move(config)) {
+  ACIC_ASSERT_MSG(source < graph_.num_vertices(),
+                  "source outside the graph");
+  config_.topology.validate();
+  if (config_.registry != nullptr) {
+    obs::Registry& reg = *config_.registry;
+    obs_mutations_ = reg.counter("dynamic/mutations_consumed");
+    obs_repairs_ = reg.counter("dynamic/repairs");
+    obs_recomputes_ = reg.counter("dynamic/recomputes");
+    obs_skipped_ = reg.counter("dynamic/refresh_skipped");
+    obs_repair_updates_ = reg.counter("dynamic/repair_updates");
+    obs_recompute_updates_ = reg.counter("dynamic/recompute_updates");
+    obs_seeds_ = reg.counter("dynamic/seeds_injected");
+    obs_subtree_size_ = reg.series("dynamic/subtree_size");
+    obs_parents_refreshed_ = reg.series("dynamic/parents_refreshed");
+  }
+
+  state_.source = source;
+  state_.epoch = graph_.epoch();
+  const auto snap = graph_.snapshot_ptr();
+  RefreshStats initial;  // constructor-time cold solve; stats discarded
+  solve(*snap, /*plan=*/nullptr, &initial);
+}
+
+RefreshStats IncrementalSssp::refresh() {
+  RefreshStats stats;
+  stats.from_epoch = state_.epoch;
+  stats.to_epoch = graph_.epoch();
+  if (stats.to_epoch == stats.from_epoch) {
+    stats.skipped = true;
+    return stats;
+  }
+  ACIC_ASSERT_MSG(stats.to_epoch > stats.from_epoch,
+                  "solver state is ahead of the graph");
+
+  const auto snap = graph_.snapshot_ptr();
+  const std::span<const AppliedMutation> span =
+      graph_.applied_since(state_.epoch);
+  stats.mutations_consumed = span.size();
+
+  const RepairPlan plan = plan_repair(*snap, state_, span);
+  const double affected_fraction =
+      static_cast<double>(plan.affected.size()) /
+      static_cast<double>(graph_.num_vertices());
+  stats.affected = plan.affected.size();
+  stats.seeds = plan.seeds.size();
+
+  if (plan.touches_nothing()) {
+    // Every mutation in the span was repair-neutral (non-tree removals,
+    // weight increases off the tree, non-improving inserts): the old
+    // distances are already the new fixed point, and the stored parents
+    // stay valid witnesses too — removing or increasing a *parent* edge
+    // would have produced an invalidation root, decreasing one would
+    // have produced a seed, and neither inserts nor non-parent changes
+    // touch a stored witness.
+    stats.skipped = true;
+    state_.epoch = snap->epoch;
+    if (config_.registry != nullptr) {
+      obs::Registry& reg = *config_.registry;
+      reg.add(obs_mutations_, 0, span.size(), 0.0);
+      reg.add(obs_skipped_, 0, 1, 0.0);
+    }
+    return stats;
+  }
+
+  if (affected_fraction > config_.recompute_fraction) {
+    stats.recomputed = true;
+    solve(*snap, /*plan=*/nullptr, &stats);
+  } else {
+    solve(*snap, &plan, &stats);
+  }
+
+  if (config_.registry != nullptr) {
+    obs::Registry& reg = *config_.registry;
+    const double x = static_cast<double>(stats.to_epoch);
+    reg.add(obs_mutations_, 0, span.size(), 0.0);
+    if (stats.recomputed) {
+      reg.add(obs_recomputes_, 0, 1, 0.0);
+      reg.add(obs_recompute_updates_, 0, stats.updates_created, 0.0);
+    } else {
+      reg.add(obs_repairs_, 0, 1, 0.0);
+      reg.add(obs_repair_updates_, 0, stats.updates_created, 0.0);
+      reg.add(obs_seeds_, 0, stats.seeds, 0.0);
+    }
+    reg.append(obs_subtree_size_, x, static_cast<double>(stats.affected));
+    reg.append(obs_parents_refreshed_, x,
+               static_cast<double>(stats.parents_refreshed));
+  }
+  return stats;
+}
+
+void IncrementalSssp::solve(const GraphSnapshot& snap, const RepairPlan* plan,
+                            RefreshStats* stats) {
+  // Fresh machine per solve: simulated time restarts at zero, so epochs
+  // never interfere and schedules stay deterministic functions of
+  // (graph, warm state, seeds).
+  runtime::Machine machine(config_.topology);
+  machine.set_threads(config_.threads);
+  const graph::Partition1D partition =
+      graph::Partition1D::block(snap.csr.num_vertices(), machine.num_pes());
+
+  core::AcicEngineOptions options;
+  if (plan != nullptr) {
+    options.warm_dist = &plan->warm_dist;
+    options.seeds = plan->seeds;
+  }
+  core::AcicEngine engine(machine, snap.csr, partition, state_.source,
+                          config_.engine, std::move(options));
+  machine.run();
+  ACIC_ASSERT_MSG(engine.complete(),
+                  "solve did not quiesce (machine drained early)");
+  core::AcicRunResult result = engine.collect();
+
+  stats->updates_created = result.lifecycle.created;
+  stats->reduction_cycles = result.reduction_cycles;
+  total_updates_ += result.lifecycle.created;
+
+  if (plan != nullptr) {
+    stats->parents_refreshed =
+        refresh_parents(snap, state_.source, state_.dist, result.sssp.dist,
+                        plan->affected, &state_.parent);
+    ++repairs_;
+  } else {
+    state_.parent = compute_parents(snap, state_.source, result.sssp.dist);
+    stats->parents_refreshed = state_.parent.size();
+    ++recomputes_;
+  }
+  state_.dist = std::move(result.sssp.dist);
+  state_.epoch = snap.epoch;
+}
+
+}  // namespace acic::dynamic

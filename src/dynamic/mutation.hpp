@@ -1,0 +1,133 @@
+#pragma once
+// Timestamped edge mutations — the write API of the dynamic-graph
+// subsystem.
+//
+// Every solver in this repository historically assumed a frozen Csr;
+// production graphs (roads, social, web) mutate continuously.  The unit
+// of change here is the *batch*: a set of edge insertions, removals and
+// reweights applied atomically as one epoch (SSSP-Del's model — batched
+// fully-dynamic updates are both how real feeds arrive and what makes
+// incremental repair cheaper than recompute).  Each applied mutation
+// receives a deterministic monotone timestamp from the graph's logical
+// clock, so two replays of the same stream produce identical logs,
+// epochs and snapshots — the determinism tests pin this down.
+//
+// Semantics (dynamic graphs are *simple*: no self edges, at most one
+// edge per (src, dst) pair — graph::validate_csr(require_simple) checks
+// this after every epoch in debug builds):
+//   * insert(u, v, w)   — adds the edge; if (u, v) already exists this
+//     is an upsert and is recorded as a reweight of the existing edge.
+//   * remove(u, v)      — deletes the edge; a no-op (counted rejected)
+//     if absent.
+//   * reweight(u, v, w) — changes the weight; a no-op (counted
+//     rejected) if absent — a reweight never creates an edge.
+//   * self edges are always rejected.
+// Within one batch, later mutations of the same (src, dst) pair win
+// (last-writer-wins in submission order), and the collapsed effect is
+// what the epoch applies and logs.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/types.hpp"
+
+namespace acic::dynamic {
+
+enum class MutationKind : std::uint8_t { kInsert, kRemove, kReweight };
+
+inline const char* mutation_kind_name(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kInsert: return "insert";
+    case MutationKind::kRemove: return "remove";
+    case MutationKind::kReweight: return "reweight";
+  }
+  return "?";
+}
+
+/// One requested edge change.  `weight` is the new weight for insert /
+/// reweight and ignored for remove.
+struct Mutation {
+  MutationKind kind = MutationKind::kInsert;
+  graph::VertexId src = 0;
+  graph::VertexId dst = 0;
+  graph::Weight weight = 0.0;
+
+  static Mutation insert(graph::VertexId u, graph::VertexId v,
+                         graph::Weight w) {
+    return {MutationKind::kInsert, u, v, w};
+  }
+  static Mutation remove(graph::VertexId u, graph::VertexId v) {
+    return {MutationKind::kRemove, u, v, 0.0};
+  }
+  static Mutation reweight(graph::VertexId u, graph::VertexId v,
+                           graph::Weight w) {
+    return {MutationKind::kReweight, u, v, w};
+  }
+};
+
+using MutationBatch = std::vector<Mutation>;
+
+/// One mutation as actually applied: the collapsed, deduplicated effect
+/// on one (src, dst) pair, stamped with the graph's logical clock.  This
+/// is the unit of the persistent log (serialization replays it) and of
+/// repair planning (old/new weights drive subtree invalidation and the
+/// cache staleness tests).
+struct AppliedMutation {
+  /// Monotone over the whole graph lifetime; unique per applied record.
+  std::uint64_t timestamp = 0;
+  /// Epoch (batch) this record belongs to; apply() returns it.
+  std::uint64_t epoch = 0;
+  MutationKind kind = MutationKind::kInsert;
+  graph::VertexId src = 0;
+  graph::VertexId dst = 0;
+  /// Weight before this record (meaningful for remove/reweight).
+  graph::Weight old_weight = 0.0;
+  /// Weight after this record (meaningful for insert/reweight).
+  graph::Weight new_weight = 0.0;
+};
+
+/// Per-batch application outcome.
+struct ApplyStats {
+  std::uint64_t epoch = 0;
+  std::size_t inserted = 0;
+  std::size_t removed = 0;
+  std::size_t reweighted = 0;
+  /// Requests that had no effect: remove/reweight of an absent edge,
+  /// self edges, and within-batch duplicates superseded by a later
+  /// request for the same pair.
+  std::size_t rejected = 0;
+
+  std::size_t applied() const { return inserted + removed + reweighted; }
+};
+
+/// Net effect of a span of applied records on one (src, dst) pair:
+/// edge presence/weight before the first record vs after the last.
+/// Multi-epoch repairs collapse the log between two epochs into these
+/// (an edge inserted then removed inside the span nets out entirely).
+struct EdgeDelta {
+  graph::VertexId src = 0;
+  graph::VertexId dst = 0;
+  bool existed_before = false;
+  bool exists_after = false;
+  graph::Weight weight_before = 0.0;
+  graph::Weight weight_after = 0.0;
+
+  bool is_removal_or_increase() const {
+    return existed_before &&
+           (!exists_after || weight_after > weight_before);
+  }
+  bool is_insert_or_decrease() const {
+    return exists_after &&
+           (!existed_before || weight_after < weight_before);
+  }
+};
+
+/// Collapses an ordered span of applied records (oldest first) into one
+/// EdgeDelta per touched (src, dst) pair, sorted by (src, dst).  The
+/// span must be contiguous in the log: the first record for a pair then
+/// carries the pair's state at the span start, the last its state at
+/// the span end.
+std::vector<EdgeDelta> collapse_mutations(
+    const AppliedMutation* begin, const AppliedMutation* end);
+
+}  // namespace acic::dynamic

@@ -1,0 +1,279 @@
+#include "src/dynamic/repair.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/graph/validate.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/table.hpp"
+
+namespace acic::dynamic {
+
+using graph::Dist;
+using graph::kInfDist;
+using graph::kInvalidVertex;
+using graph::Neighbor;
+using graph::VertexId;
+
+std::vector<EdgeDelta> collapse_mutations(const AppliedMutation* begin,
+                                          const AppliedMutation* end) {
+  // Group records by (src, dst) preserving log order within a pair; a
+  // stable sort keeps first = span-start state, last = span-end state.
+  std::vector<const AppliedMutation*> ordered;
+  ordered.reserve(static_cast<std::size_t>(end - begin));
+  for (const AppliedMutation* m = begin; m != end; ++m) {
+    ordered.push_back(m);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const AppliedMutation* a, const AppliedMutation* b) {
+                     if (a->src != b->src) return a->src < b->src;
+                     return a->dst < b->dst;
+                   });
+
+  std::vector<EdgeDelta> deltas;
+  for (std::size_t i = 0; i < ordered.size();) {
+    const AppliedMutation& first = *ordered[i];
+    std::size_t j = i;
+    while (j + 1 < ordered.size() &&
+           ordered[j + 1]->src == first.src &&
+           ordered[j + 1]->dst == first.dst) {
+      ++j;
+    }
+    const AppliedMutation& last = *ordered[j];
+    EdgeDelta delta;
+    delta.src = first.src;
+    delta.dst = first.dst;
+    delta.existed_before = first.kind != MutationKind::kInsert;
+    delta.weight_before = first.old_weight;
+    delta.exists_after = last.kind != MutationKind::kRemove;
+    delta.weight_after = last.new_weight;
+    // Drop pairs that net out (e.g. inserted then removed within the
+    // span, or reweighted back to the original weight).
+    const bool no_change =
+        delta.existed_before == delta.exists_after &&
+        (!delta.exists_after ||
+         delta.weight_before == delta.weight_after);
+    if (!no_change) deltas.push_back(delta);
+    i = j + 1;
+  }
+  return deltas;
+}
+
+RepairPlan plan_repair(const GraphSnapshot& target, const SsspState& state,
+                       std::span<const AppliedMutation> span) {
+  const VertexId n = target.csr.num_vertices();
+  ACIC_ASSERT_MSG(state.dist.size() == n && state.parent.size() == n,
+                  "repair state must cover every vertex");
+
+  RepairPlan plan;
+  const std::vector<EdgeDelta> deltas =
+      collapse_mutations(span.data(), span.data() + span.size());
+
+  // 1. Invalidation roots: disturbed tree edges.  parent[dst] == src
+  //    identifies the (unique, simple graph) tree edge; removal or any
+  //    weight increase breaks the witness for the whole subtree below.
+  std::vector<VertexId> roots;
+  for (const EdgeDelta& d : deltas) {
+    if (d.is_removal_or_increase() && state.parent[d.dst] == d.src) {
+      roots.push_back(d.dst);
+    }
+  }
+
+  // 2. Affected set: descendants closure over the parent tree.  The
+  //    child lists are materialized only when a root exists — the
+  //    common case (no tree edge disturbed) pays nothing here.
+  std::vector<bool> affected(n, false);
+  if (!roots.empty()) {
+    std::vector<std::uint32_t> child_count(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (state.parent[v] != kInvalidVertex) ++child_count[state.parent[v]];
+    }
+    std::vector<std::size_t> child_start(static_cast<std::size_t>(n) + 1, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      child_start[v + 1] = child_start[v] + child_count[v];
+    }
+    std::vector<VertexId> children(child_start[n]);
+    std::vector<std::size_t> cursor(child_start.begin(),
+                                    child_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      if (state.parent[v] != kInvalidVertex) {
+        children[cursor[state.parent[v]]++] = v;
+      }
+    }
+    std::vector<VertexId> stack;
+    for (const VertexId root : roots) {
+      if (!affected[root]) {
+        affected[root] = true;
+        stack.push_back(root);
+      }
+    }
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      plan.affected.push_back(v);
+      for (std::size_t c = child_start[v]; c < child_start[v + 1]; ++c) {
+        const VertexId child = children[c];
+        if (!affected[child]) {
+          affected[child] = true;
+          stack.push_back(child);
+        }
+      }
+    }
+    std::sort(plan.affected.begin(), plan.affected.end());
+  }
+
+  // 3. Warm distances: the surviving state with the affected set reset.
+  plan.warm_dist = state.dist;
+  for (const VertexId v : plan.affected) plan.warm_dist[v] = kInfDist;
+
+  // 4. Seeds.  Boundary of the affected region: best candidate over
+  //    in-edges from unaffected finite vertices (covers pre-existing
+  //    and newly inserted edges alike — the reverse CSR is the *new*
+  //    graph's).  Then improving inserted/decreased edges whose head is
+  //    unaffected.  One seed per vertex, the minimum candidate.
+  std::vector<sssp::Update> seeds;
+  for (const VertexId v : plan.affected) {
+    Dist best = kInfDist;
+    for (const Neighbor& in : target.reverse.out_neighbors(v)) {
+      if (affected[in.dst]) continue;  // reverse rows store src in .dst
+      const Dist du = plan.warm_dist[in.dst];
+      if (du == kInfDist) continue;
+      best = std::min(best, du + in.weight);
+    }
+    if (best != kInfDist) seeds.push_back(sssp::Update{v, best});
+  }
+  for (const EdgeDelta& d : deltas) {
+    if (!d.is_insert_or_decrease()) continue;
+    if (!plan.affected.empty() && affected[d.dst]) continue;  // seeded above
+    if (!plan.affected.empty() && affected[d.src]) continue;
+    const Dist du = plan.warm_dist[d.src];
+    if (du == kInfDist) continue;
+    const Dist cand = du + d.weight_after;
+    if (cand < plan.warm_dist[d.dst]) {
+      seeds.push_back(sssp::Update{d.dst, cand});
+    }
+  }
+  std::sort(seeds.begin(), seeds.end(),
+            [](const sssp::Update& a, const sssp::Update& b) {
+              if (a.vertex != b.vertex) return a.vertex < b.vertex;
+              return a.dist < b.dist;
+            });
+  // Keep only the best candidate per vertex.
+  for (const sssp::Update& u : seeds) {
+    if (plan.seeds.empty() || plan.seeds.back().vertex != u.vertex) {
+      plan.seeds.push_back(u);
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+/// Canonical witness for one vertex: smallest in-neighbor u (then
+/// smallest weight) with dist[u] + w == dist[v]; kInvalidVertex if none.
+VertexId witness_of(const GraphSnapshot& snap, VertexId v,
+                    const std::vector<Dist>& dist) {
+  for (const Neighbor& in : snap.reverse.out_neighbors(v)) {
+    // Reverse rows are sorted by (src, weight), so the first match is
+    // the canonical witness.
+    if (dist[in.dst] != kInfDist && dist[in.dst] + in.weight == dist[v]) {
+      return in.dst;
+    }
+  }
+  return kInvalidVertex;
+}
+
+}  // namespace
+
+std::vector<VertexId> compute_parents(const GraphSnapshot& snap,
+                                      VertexId source,
+                                      const std::vector<Dist>& dist) {
+  const VertexId n = snap.csr.num_vertices();
+  ACIC_ASSERT(dist.size() == n);
+  std::vector<VertexId> parents(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == source || dist[v] == kInfDist) continue;
+    parents[v] = witness_of(snap, v, dist);
+    ACIC_ASSERT_MSG(parents[v] != kInvalidVertex,
+                    "finite distance without a witness in-edge");
+  }
+  return parents;
+}
+
+std::size_t refresh_parents(const GraphSnapshot& snap, VertexId source,
+                            const std::vector<Dist>& old_dist,
+                            const std::vector<Dist>& new_dist,
+                            const std::vector<VertexId>& affected,
+                            std::vector<VertexId>* parents) {
+  const VertexId n = snap.csr.num_vertices();
+  ACIC_ASSERT(old_dist.size() == n && new_dist.size() == n &&
+              parents->size() == n);
+  std::size_t recomputed = 0;
+  auto refresh_one = [&](VertexId v) {
+    (*parents)[v] = (v == source || new_dist[v] == kInfDist)
+                        ? kInvalidVertex
+                        : witness_of(snap, v, new_dist);
+    ++recomputed;
+  };
+  std::vector<bool> done(n, false);
+  for (const VertexId v : affected) {
+    refresh_one(v);
+    done[v] = true;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (!done[v] && old_dist[v] != new_dist[v]) refresh_one(v);
+  }
+  return recomputed;
+}
+
+bool state_is_consistent(const GraphSnapshot& snap, const SsspState& state,
+                         std::string* error) {
+  const graph::ValidationResult fixed_point =
+      graph::validate_sssp(snap.csr, state.source, state.dist);
+  if (!fixed_point.ok) {
+    if (error != nullptr) *error = fixed_point.error;
+    return false;
+  }
+  const VertexId n = snap.csr.num_vertices();
+  if (state.parent.size() != n) {
+    if (error != nullptr) *error = "parent vector size mismatch";
+    return false;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId p = state.parent[v];
+    if (v == state.source || state.dist[v] == kInfDist) {
+      if (p != kInvalidVertex) {
+        if (error != nullptr) {
+          *error = util::strformat("vertex %u should have no parent", v);
+        }
+        return false;
+      }
+      continue;
+    }
+    if (p == kInvalidVertex) {
+      if (error != nullptr) {
+        *error = util::strformat("reachable vertex %u has no parent", v);
+      }
+      return false;
+    }
+    bool witnessed = false;
+    for (const Neighbor& nb : snap.csr.out_neighbors(p)) {
+      if (nb.dst == v &&
+          state.dist[p] + nb.weight == state.dist[v]) {
+        witnessed = true;
+        break;
+      }
+    }
+    if (!witnessed) {
+      if (error != nullptr) {
+        *error = util::strformat(
+            "parent edge (%u -> %u) is not a witness", p, v);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace acic::dynamic

@@ -147,6 +147,27 @@ Csr Csr::permuted(const std::vector<VertexId>& perm,
   return out;
 }
 
+Csr Csr::from_parts(std::vector<std::size_t> offsets,
+                    std::vector<Neighbor> neighbors) {
+  ACIC_ASSERT_MSG(!offsets.empty() && offsets.front() == 0 &&
+                      offsets.back() == neighbors.size(),
+                  "from_parts: malformed offset array");
+  Csr csr;
+  csr.offsets_ = std::move(offsets);
+  csr.neighbors_ = std::move(neighbors);
+#ifndef NDEBUG
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    ACIC_ASSERT(csr.offsets_[v] <= csr.offsets_[v + 1]);
+    const auto row = csr.out_neighbors(v);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      ACIC_ASSERT(row[i].dst < csr.num_vertices());
+      ACIC_ASSERT(i == 0 || !neighbor_less(row[i], row[i - 1]));
+    }
+  }
+#endif
+  return csr;
+}
+
 std::size_t Csr::max_out_degree() const {
   std::size_t best = 0;
   for (VertexId v = 0; v < num_vertices(); ++v) {

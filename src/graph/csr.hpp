@@ -32,6 +32,16 @@ class Csr {
   Csr permuted(const std::vector<VertexId>& perm,
                unsigned threads = 1) const;
 
+  /// Adopts already-built arrays.  The caller owns the invariants
+  /// (offsets ascending with offsets[0] == 0 and offsets.back() ==
+  /// neighbors.size(); every row sorted by (dst, weight); dst in range)
+  /// — debug builds assert them via validate_csr.  This is the mutation
+  /// layer's entry point (src/dynamic/): batch application patches the
+  /// arrays of an existing CSR directly instead of round-tripping |E|
+  /// edges through EdgeList and the counting sort.
+  static Csr from_parts(std::vector<std::size_t> offsets,
+                        std::vector<Neighbor> neighbors);
+
   VertexId num_vertices() const {
     return offsets_.empty() ? 0
                             : static_cast<VertexId>(offsets_.size() - 1);

@@ -10,7 +10,8 @@ namespace acic::graph {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x43495343'52535243ULL;  // "ACIC CSRC"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 1;         // frozen CSR
+constexpr std::uint32_t kDynamicVersion = 2;  // base CSR + mutation log
 
 struct Header {
   std::uint64_t magic = kMagic;
@@ -18,6 +19,20 @@ struct Header {
   std::uint32_t num_vertices = 0;
   std::uint64_t num_edges = 0;
 };
+
+/// On-disk form of one applied mutation: explicit fixed-width fields so
+/// the layout is independent of AppliedMutation's in-memory padding.
+struct MutationRecord {
+  std::uint64_t timestamp = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t kind = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t pad = 0;
+  double old_weight = 0.0;
+  double new_weight = 0.0;
+};
+static_assert(sizeof(MutationRecord) == 48);
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -38,41 +53,31 @@ bool read_array(std::FILE* f, T* data, std::size_t count) {
 
 }  // namespace
 
-bool save_csr(const Csr& csr, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return false;
+namespace {
+
+bool write_csr_payload(std::FILE* f, const Csr& csr,
+                       std::uint32_t version) {
   Header header;
+  header.version = version;
   header.num_vertices = csr.num_vertices();
   header.num_edges = csr.num_edges();
-  if (!write_array(f.get(), &header, 1)) return false;
-  if (!write_array(f.get(), csr.offsets().data(), csr.offsets().size())) {
+  if (!write_array(f, &header, 1)) return false;
+  if (!write_array(f, csr.offsets().data(), csr.offsets().size())) {
     return false;
   }
-  if (!write_array(f.get(), csr.neighbors().data(),
-                   csr.neighbors().size())) {
-    return false;
-  }
-  return true;
+  return write_array(f, csr.neighbors().data(), csr.neighbors().size());
 }
 
-Csr load_csr(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) throw std::runtime_error("cannot open CSR cache: " + path);
-  Header header;
-  if (!read_array(f.get(), &header, 1) || header.magic != kMagic) {
-    throw std::runtime_error("bad CSR cache magic in " + path);
-  }
-  if (header.version != kVersion) {
-    throw std::runtime_error("unsupported CSR cache version in " + path);
-  }
-
-  // Rebuild through the EdgeList path so all Csr invariants (row
-  // sorting) hold regardless of file contents.
+/// Reads the offset/neighbor arrays following `header` and rebuilds the
+/// CSR through the EdgeList path so all Csr invariants (row sorting)
+/// hold regardless of file contents.
+Csr read_csr_payload(std::FILE* f, const Header& header,
+                     const std::string& path) {
   std::vector<std::size_t> offsets(
       static_cast<std::size_t>(header.num_vertices) + 1);
   std::vector<Neighbor> neighbors(header.num_edges);
-  if (!read_array(f.get(), offsets.data(), offsets.size()) ||
-      !read_array(f.get(), neighbors.data(), neighbors.size())) {
+  if (!read_array(f, offsets.data(), offsets.size()) ||
+      !read_array(f, neighbors.data(), neighbors.size())) {
     throw std::runtime_error("truncated CSR cache: " + path);
   }
   if (offsets.front() != 0 || offsets.back() != header.num_edges) {
@@ -93,6 +98,122 @@ Csr load_csr(const std::string& path) {
     }
   }
   return Csr::from_edge_list(list);
+}
+
+Header read_header(std::FILE* f, const std::string& path) {
+  Header header;
+  if (!read_array(f, &header, 1) || header.magic != kMagic) {
+    throw std::runtime_error("bad CSR cache magic in " + path);
+  }
+  return header;
+}
+
+}  // namespace
+
+bool save_csr(const Csr& csr, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  return write_csr_payload(f.get(), csr, kVersion);
+}
+
+Csr load_csr(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open CSR cache: " + path);
+  const Header header = read_header(f.get(), path);
+  if (header.version != kVersion) {
+    throw std::runtime_error("unsupported CSR cache version in " + path);
+  }
+  return read_csr_payload(f.get(), header, path);
+}
+
+bool save_dynamic_graph(const dynamic::DynamicGraph& graph,
+                        const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  if (!write_csr_payload(f.get(), graph.base(), kDynamicVersion)) {
+    return false;
+  }
+  const std::uint64_t num_epochs = graph.epoch();
+  const std::uint64_t num_records = graph.log().size();
+  if (!write_array(f.get(), &num_epochs, 1) ||
+      !write_array(f.get(), &num_records, 1)) {
+    return false;
+  }
+  std::vector<MutationRecord> records;
+  records.reserve(graph.log().size());
+  for (const dynamic::AppliedMutation& m : graph.log()) {
+    MutationRecord r;
+    r.timestamp = m.timestamp;
+    r.epoch = m.epoch;
+    r.kind = static_cast<std::uint32_t>(m.kind);
+    r.src = m.src;
+    r.dst = m.dst;
+    r.old_weight = m.old_weight;
+    r.new_weight = m.new_weight;
+    records.push_back(r);
+  }
+  return write_array(f.get(), records.data(), records.size());
+}
+
+dynamic::DynamicGraph load_dynamic_graph(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open CSR cache: " + path);
+  const Header header = read_header(f.get(), path);
+  if (header.version != kVersion && header.version != kDynamicVersion) {
+    throw std::runtime_error("unsupported CSR cache version in " + path);
+  }
+  Csr base = read_csr_payload(f.get(), header, path);
+  dynamic::DynamicGraph graph(std::move(base));
+  if (header.version == kVersion) return graph;  // frozen CSR: epoch 0
+
+  std::uint64_t num_epochs = 0;
+  std::uint64_t num_records = 0;
+  if (!read_array(f.get(), &num_epochs, 1) ||
+      !read_array(f.get(), &num_records, 1)) {
+    throw std::runtime_error("truncated mutation log in " + path);
+  }
+  std::vector<MutationRecord> records(num_records);
+  if (!read_array(f.get(), records.data(), records.size())) {
+    throw std::runtime_error("truncated mutation log in " + path);
+  }
+
+  // Replay epoch by epoch (records are logged in epoch order; empty
+  // epochs have no records but still advanced the counter).  apply() is
+  // deterministic in the stream, so the replayed log — timestamps
+  // included — matches the saved one record for record.
+  std::size_t i = 0;
+  for (std::uint64_t epoch = 1; epoch <= num_epochs; ++epoch) {
+    dynamic::MutationBatch batch;
+    for (; i < records.size() && records[i].epoch == epoch; ++i) {
+      const MutationRecord& r = records[i];
+      if (r.src >= graph.num_vertices() || r.dst >= graph.num_vertices()) {
+        throw std::runtime_error("corrupt mutation record in " + path);
+      }
+      switch (static_cast<dynamic::MutationKind>(r.kind)) {
+        case dynamic::MutationKind::kInsert:
+          batch.push_back(
+              dynamic::Mutation::insert(r.src, r.dst, r.new_weight));
+          break;
+        case dynamic::MutationKind::kRemove:
+          batch.push_back(dynamic::Mutation::remove(r.src, r.dst));
+          break;
+        case dynamic::MutationKind::kReweight:
+          batch.push_back(
+              dynamic::Mutation::reweight(r.src, r.dst, r.new_weight));
+          break;
+        default:
+          throw std::runtime_error("corrupt mutation record in " + path);
+      }
+    }
+    const dynamic::ApplyStats stats = graph.apply(batch);
+    if (stats.applied() != batch.size()) {
+      throw std::runtime_error("mutation log replay diverged in " + path);
+    }
+  }
+  if (i != records.size()) {
+    throw std::runtime_error("mutation log epochs out of range in " + path);
+  }
+  return graph;
 }
 
 }  // namespace acic::graph

@@ -73,4 +73,51 @@ ValidationResult compare_distances(const std::vector<Dist>& actual,
   return {true, {}};
 }
 
+ValidationResult validate_csr(const Csr& csr, bool require_simple) {
+  const VertexId n = csr.num_vertices();
+  const std::vector<std::size_t>& offsets = csr.offsets();
+  if (offsets.empty() || offsets.front() != 0) {
+    return {false, "offsets must start at 0"};
+  }
+  if (offsets.back() != csr.num_edges()) {
+    return {false, strformat("offsets.back()=%zu, want num_edges=%zu",
+                             offsets.back(), csr.num_edges())};
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return {false, strformat("offsets not ascending at vertex %u", v)};
+    }
+    const auto row = csr.out_neighbors(v);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const Neighbor& nb = row[i];
+      if (nb.dst >= n) {
+        return {false, strformat("edge (%u -> %u) destination out of "
+                                 "range (|V|=%u)",
+                                 v, nb.dst, n)};
+      }
+      if (!std::isfinite(nb.weight) || nb.weight < 0.0) {
+        return {false, strformat("edge (%u -> %u) has invalid weight %g",
+                                 v, nb.dst, nb.weight)};
+      }
+      if (i > 0) {
+        const Neighbor& prev = row[i - 1];
+        if (nb.dst < prev.dst ||
+            (nb.dst == prev.dst && nb.weight < prev.weight)) {
+          return {false,
+                  strformat("row %u not sorted by (dst, weight) at "
+                            "position %zu",
+                            v, i)};
+        }
+        if (require_simple && nb.dst == prev.dst) {
+          return {false, strformat("duplicate edge (%u -> %u)", v, nb.dst)};
+        }
+      }
+      if (require_simple && nb.dst == v) {
+        return {false, strformat("self edge at vertex %u", v)};
+      }
+    }
+  }
+  return {true, {}};
+}
+
 }  // namespace acic::graph

@@ -33,4 +33,16 @@ ValidationResult validate_sssp(const Csr& csr, VertexId source,
 ValidationResult compare_distances(const std::vector<Dist>& actual,
                                    const std::vector<Dist>& expected);
 
+/// Structural CSR invariants every builder (and every mutation epoch of
+/// the dynamic layer) must preserve:
+///   1. offsets[0] == 0, offsets ascending, offsets.back() == |E|,
+///   2. every destination < |V|, every weight finite and >= 0,
+///   3. every row sorted by (dst, weight).
+/// With `require_simple` (the dynamic-graph contract) additionally:
+///   4. no self edge (v -> v),
+///   5. no duplicate (src, dst) pair within a row.
+/// Debug builds of DynamicGraph::apply run this after every mutation
+/// epoch; the static builders are exercised through it in the tests.
+ValidationResult validate_csr(const Csr& csr, bool require_simple = false);
+
 }  // namespace acic::graph

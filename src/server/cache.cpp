@@ -9,6 +9,9 @@ const std::vector<graph::Dist>* DistanceCache::lookup(
   const auto it = index_.find(source);
   if (it == index_.end()) {
     ++stats_.misses;
+    if (invalidated_.erase(source) > 0) {
+      ++stats_.stale_hits_prevented;
+    }
     return nullptr;
   }
   ++stats_.hits;
@@ -23,14 +26,17 @@ const std::vector<graph::Dist>* DistanceCache::peek(
 }
 
 void DistanceCache::insert(graph::VertexId source,
-                           std::vector<graph::Dist> dist) {
+                           std::vector<graph::Dist> dist,
+                           std::uint64_t epoch) {
   if (capacity_ == 0) return;
+  invalidated_.erase(source);  // the fresh answer supersedes the history
   const auto it = index_.find(source);
   if (it != index_.end()) {
     // Refresh: same graph means same answer, but keep the newest vector
     // and promote (a concurrent duplicate query may legitimately land
     // here after both ran as misses).
     it->second->dist = std::move(dist);
+    it->second->epoch = epoch;
     entries_.splice(entries_.begin(), entries_, it->second);
     return;
   }
@@ -39,9 +45,35 @@ void DistanceCache::insert(graph::VertexId source,
     entries_.pop_back();
     ++stats_.evictions;
   }
-  entries_.push_front(Entry{source, std::move(dist)});
+  entries_.push_front(Entry{source, std::move(dist), epoch});
   index_[source] = entries_.begin();
   ++stats_.insertions;
+}
+
+bool DistanceCache::invalidate(graph::VertexId source,
+                               std::vector<graph::Dist>* stolen) {
+  const auto it = index_.find(source);
+  if (it == index_.end()) return false;
+  if (stolen != nullptr) *stolen = std::move(it->second->dist);
+  entries_.erase(it->second);
+  index_.erase(it);
+  invalidated_.insert(source);
+  ++stats_.invalidations;
+  return true;
+}
+
+std::uint64_t DistanceCache::epoch_of(graph::VertexId source) const {
+  const auto it = index_.find(source);
+  return it != index_.end() ? it->second->epoch : 0;
+}
+
+std::vector<graph::VertexId> DistanceCache::cached_sources() const {
+  std::vector<graph::VertexId> sources;
+  sources.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    sources.push_back(entry.source);
+  }
+  return sources;
 }
 
 }  // namespace acic::server

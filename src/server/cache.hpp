@@ -11,11 +11,22 @@
 //
 // Capacity is counted in entries because every entry has the same size
 // (|V| distances); eviction is strict least-recently-used.
+//
+// Dynamic graphs add *invalidation*: when a mutation epoch applies, the
+// service tests every entry against the epoch's edge deltas (exact
+// per-edge staleness tests — see QueryService::invalidate_cache) and
+// evicts the ones whose distances may have changed.  Surviving entries
+// are provably still exact, so their stored epoch stamp may lag the
+// graph's.  Invalidated sources are remembered until the next insert or
+// lookup for them: a miss on such a source counts as a *prevented stale
+// hit* — the query that would have been served a wrong answer had the
+// entry not been evicted.
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/graph/types.hpp"
@@ -27,6 +38,11 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Entries evicted because a mutation may have changed their answer.
+  std::uint64_t invalidations = 0;
+  /// Misses on a source whose entry a prior invalidation evicted — the
+  /// stale hits the invalidation sweep prevented.
+  std::uint64_t stale_hits_prevented = 0;
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -50,8 +66,25 @@ class DistanceCache {
   const std::vector<graph::Dist>* peek(graph::VertexId source) const;
 
   /// Inserts (or refreshes) the result for `source`, evicting the
-  /// least-recently-used entry if at capacity.
-  void insert(graph::VertexId source, std::vector<graph::Dist> dist);
+  /// least-recently-used entry if at capacity.  `epoch` stamps the
+  /// graph epoch the distances were computed on (0 for static graphs).
+  void insert(graph::VertexId source, std::vector<graph::Dist> dist,
+              std::uint64_t epoch = 0);
+
+  /// Evicts `source` because a mutation may have changed its answer;
+  /// false if not cached.  When `stolen` is non-null the evicted
+  /// distance vector is moved into it (the service parks it as a warm
+  /// repair state instead of discarding the work).  The source is
+  /// remembered for stale-hit accounting until its next insert/lookup.
+  bool invalidate(graph::VertexId source,
+                  std::vector<graph::Dist>* stolen = nullptr);
+
+  /// Epoch stamp of a cached entry (peek semantics); 0 if absent.
+  std::uint64_t epoch_of(graph::VertexId source) const;
+
+  /// Cached sources in LRU order (front = most recent), for the
+  /// service's invalidation sweep — collect, then test, then invalidate.
+  std::vector<graph::VertexId> cached_sources() const;
 
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -61,11 +94,15 @@ class DistanceCache {
   struct Entry {
     graph::VertexId source;
     std::vector<graph::Dist> dist;
+    std::uint64_t epoch = 0;
   };
 
   std::size_t capacity_;
   std::list<Entry> entries_;  // front = most recently used
   std::unordered_map<graph::VertexId, std::list<Entry>::iterator> index_;
+  /// Sources whose entry an invalidation evicted, pending the
+  /// stale-hit-prevented accounting of their next miss.
+  std::unordered_set<graph::VertexId> invalidated_;
   CacheStats stats_;
 };
 

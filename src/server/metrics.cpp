@@ -17,6 +17,8 @@ ServiceSummary ServiceMetrics::summarize(const CacheStats& cache) const {
   ServiceSummary s;
   s.completed = records_.size();
   s.cache_hit_rate = cache.hit_rate();
+  s.cache_invalidations = cache.invalidations;
+  s.stale_hits_prevented = cache.stale_hits_prevented;
   if (records_.empty()) return s;
 
   std::vector<double> latencies;
@@ -31,6 +33,7 @@ ServiceSummary ServiceMetrics::summarize(const CacheStats& cache) const {
     first_arrival = std::min(first_arrival, r.arrival_us);
     last_completion = std::max(last_completion, r.complete_us);
     if (r.cache_hit) ++s.cache_hits;
+    if (r.repaired) ++s.repaired_queries;
   }
   s.p50_latency_us = util::percentile(latencies, 50.0);
   s.p95_latency_us = util::percentile(latencies, 95.0);
@@ -70,6 +73,14 @@ std::string format_summary(const ServiceSummary& s) {
       "  cache: %llu queries served from cache; lookup hit rate %.1f%%\n",
       static_cast<unsigned long long>(s.cache_hits),
       100.0 * s.cache_hit_rate);
+  if (s.cache_invalidations > 0 || s.repaired_queries > 0) {
+    out += util::strformat(
+        "  churn: %llu invalidations, %llu stale hits prevented, "
+        "%llu queries repaired warm\n",
+        static_cast<unsigned long long>(s.cache_invalidations),
+        static_cast<unsigned long long>(s.stale_hits_prevented),
+        static_cast<unsigned long long>(s.repaired_queries));
+  }
   return out;
 }
 

@@ -26,6 +26,12 @@ struct QueryRecord {
   runtime::SimTime admit_us = 0.0;     // left the wait queue / cache hit
   runtime::SimTime complete_us = 0.0;  // distances available
   bool cache_hit = false;
+  /// Graph epoch the answer is exact for (dynamic serving; the epoch
+  /// current at admission — bounded staleness under churn).
+  std::uint64_t epoch = 0;
+  /// Answered by incremental repair of a parked invalidated entry
+  /// instead of a cold engine (dynamic serving).
+  bool repaired = false;
 
   runtime::SimTime latency_us() const { return complete_us - arrival_us; }
   runtime::SimTime queue_wait_us() const { return admit_us - arrival_us; }
@@ -59,6 +65,11 @@ struct ServiceSummary {
   std::uint32_t max_queue_depth = 0;   // waiting, not running
   std::uint32_t max_concurrent = 0;    // running engines
   runtime::SimTime makespan_us = 0.0;  // first arrival -> last completion
+
+  // Dynamic serving (all zero on a static graph).
+  std::uint64_t repaired_queries = 0;   // warm-repair admissions
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t stale_hits_prevented = 0;
 };
 
 /// Collects records and samples; computes the summary on demand.

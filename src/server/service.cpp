@@ -3,18 +3,60 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/dynamic/repair.hpp"
 #include "src/util/assert.hpp"
 
 namespace acic::server {
+
+namespace {
+
+/// Exact staleness test of one cached distance vector against one net
+/// edge change.  Removal / increase of (u, v) can only matter if the
+/// edge was a shortest-path witness: D[u] + w_old == D[v] (equality is
+/// conservative — the witness may be redundant — but a non-witness edge
+/// lies on no shortest path, so inequality is a proof of safety).
+/// Insert / decrease matters iff it strictly improves the head.
+bool entry_stale(const std::vector<graph::Dist>& d,
+                 const dynamic::EdgeDelta& delta) {
+  const graph::Dist du = d[delta.src];
+  if (du == graph::kInfDist) return false;
+  if (delta.is_removal_or_increase() &&
+      du + delta.weight_before == d[delta.dst]) {
+    return true;
+  }
+  if (delta.is_insert_or_decrease() &&
+      du + delta.weight_after < d[delta.dst]) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 QueryService::QueryService(runtime::Machine& machine, const graph::Csr& csr,
                            const graph::Partition1D& partition,
                            ServiceConfig config)
     : machine_(machine),
-      csr_(csr),
+      csr_(&csr),
       partition_(partition),
       config_(std::move(config)),
       cache_(config_.cache_capacity) {
+  define_counters();
+}
+
+QueryService::QueryService(runtime::Machine& machine,
+                           dynamic::DynamicGraph& graph,
+                           const graph::Partition1D& partition,
+                           ServiceConfig config)
+    : machine_(machine),
+      dynamic_(&graph),
+      partition_(partition),
+      config_(std::move(config)),
+      cache_(config_.cache_capacity) {
+  define_counters();
+}
+
+void QueryService::define_counters() {
   ACIC_ASSERT_MSG(partition_.num_parts() == machine_.num_pes(),
                   "partition parts must equal worker PE count");
   ACIC_ASSERT_MSG(config_.max_inflight > 0,
@@ -28,6 +70,18 @@ QueryService::QueryService(runtime::Machine& machine, const graph::Csr& csr,
     obs_cache_hits_ = reg.counter("server/cache_hits");
     obs_wait_depth_ = reg.series("server/wait_queue_depth");
     obs_running_ = reg.series("server/running_engines");
+    if (dynamic_ != nullptr) {
+      // Timed so the churn counters render as tracks in the timeseries
+      // CSV / Chrome trace that bench/server_load exports.
+      obs_mutations_ = reg.counter("server/mutations_applied", true);
+      obs_invalidations_ = reg.counter("cache/invalidations", true);
+      obs_stale_prevented_ = reg.counter("cache/stale_hits_prevented", true);
+      obs_repair_queries_ = reg.counter("server/repair_queries", true);
+      obs_recompute_queries_ =
+          reg.counter("server/recompute_queries", true);
+      obs_stale_dropped_ = reg.counter("server/stale_results_dropped", true);
+      obs_subtree_size_ = reg.series("server/repair_subtree_size");
+    }
     // One attachment covers the whole serving run: machine runtime/net
     // counters, every engine's introspection stream, and the service's
     // own counters land in the same registry.
@@ -42,7 +96,7 @@ QueryService::~QueryService() = default;
 
 void QueryService::submit(const std::vector<QueryArrival>& arrivals) {
   for (const QueryArrival& arrival : arrivals) {
-    ACIC_ASSERT_MSG(arrival.source < csr_.num_vertices(),
+    ACIC_ASSERT_MSG(arrival.source < graph_view().num_vertices(),
                     "query source outside the graph");
     QueryRecord record;
     record.id = arrival.id;
@@ -62,16 +116,97 @@ void QueryService::submit(const std::vector<QueryArrival>& arrivals) {
   }
 }
 
+void QueryService::submit_mutations(const std::vector<MutationEvent>& events) {
+  ACIC_ASSERT_MSG(dynamic_ != nullptr,
+                  "submit_mutations requires the DynamicGraph constructor");
+  for (const MutationEvent& event : events) {
+    machine_.schedule_at(event.apply_us, config_.frontend_pe,
+                         [this, batch = event.batch](runtime::Pe& pe) {
+                           apply_mutations(pe, batch);
+                         });
+  }
+}
+
+void QueryService::apply_mutations(runtime::Pe& pe,
+                                   const dynamic::MutationBatch& batch) {
+  const runtime::ScopedSpan span(config_.tracer, pe, "server/mutate");
+  const auto before = dynamic_->snapshot_ptr();
+  const dynamic::ApplyStats stats = dynamic_->apply(batch);
+  mutations_applied_ += stats.applied();
+  pe.charge(config_.mutation_apply_cost_us *
+            static_cast<double>(stats.applied()));
+  if (config_.registry != nullptr && stats.applied() > 0) {
+    config_.registry->add(obs_mutations_, pe.id(), stats.applied(),
+                          pe.now());
+  }
+  if (stats.applied() == 0) return;
+
+  // Cache sweep: test every entry against the epoch's net edge deltas
+  // and park the stale ones as warm-repair states.  Surviving entries
+  // are provably still exact (see entry_stale), which keeps the cache's
+  // exactness invariant: every entry is correct for the current epoch.
+  const std::span<const dynamic::AppliedMutation> applied =
+      dynamic_->applied_since(before->epoch);
+  const std::vector<dynamic::EdgeDelta> deltas =
+      dynamic::collapse_mutations(applied.data(),
+                                  applied.data() + applied.size());
+  for (const graph::VertexId source : cache_.cached_sources()) {
+    const std::vector<graph::Dist>* dist = cache_.peek(source);
+    const dynamic::EdgeDelta* trigger = nullptr;
+    for (const dynamic::EdgeDelta& delta : deltas) {
+      if (entry_stale(*dist, delta)) {
+        trigger = &delta;
+        break;
+      }
+    }
+    if (trigger == nullptr) continue;
+    StaleState state;
+    state.epoch = before->epoch;
+    state.snap = before;
+    cache_.invalidate(source, &state.dist);
+    if (config_.registry != nullptr) {
+      // Attribute to the partition block owning the mutated edge's head:
+      // node/process rollups of this counter are the per-region eviction
+      // breakdown.
+      config_.registry->add(obs_invalidations_,
+                            partition_.owner(trigger->dst), 1, pe.now());
+    }
+    park_stale_state(source, std::move(state));
+  }
+}
+
+void QueryService::park_stale_state(graph::VertexId source,
+                                    StaleState state) {
+  if (config_.max_stale_states == 0) return;
+  const auto it = stale_states_.find(source);
+  if (it != stale_states_.end()) {
+    it->second = std::move(state);  // newer epoch supersedes
+    return;
+  }
+  if (stale_states_.size() >= config_.max_stale_states) {
+    stale_states_.erase(stale_order_.front());
+    stale_order_.erase(stale_order_.begin());
+  }
+  stale_states_.emplace(source, std::move(state));
+  stale_order_.push_back(source);
+}
+
 void QueryService::on_arrival(runtime::Pe& pe, std::size_t record_index) {
   const runtime::ScopedSpan span(config_.tracer, pe, "server/arrival");
   QueryRecord& record = pending_records_[record_index];
   // Front-end cache check: the one counted lookup this query makes.
   pe.charge(config_.cache_lookup_cost_us);
+  const std::uint64_t prevented_before = cache_.stats().stale_hits_prevented;
   if (cache_.lookup(record.source) != nullptr) {
     record.admit_us = pe.now();
+    record.epoch = dynamic_ != nullptr ? dynamic_->epoch() : 0;
     complete_record(pe, record_index, /*cache_hit=*/true);
     sample_queue(pe.now());
     return;
+  }
+  if (config_.registry != nullptr && dynamic_ != nullptr &&
+      cache_.stats().stale_hits_prevented > prevented_before) {
+    config_.registry->add(obs_stale_prevented_, pe.id(), 1, pe.now());
   }
   wait_queue_.push_back(
       Pending{record.id, record.source, record_index});
@@ -87,7 +222,9 @@ void QueryService::try_admit(runtime::Pe& pe) {
     // source admitted ahead of it completed): serve it engine-free.
     // peek() keeps the hit/miss accounting at one lookup per query.
     if (cache_.peek(pending.source) != nullptr) {
-      pending_records_[pending.record_index].admit_us = pe.now();
+      QueryRecord& record = pending_records_[pending.record_index];
+      record.admit_us = pe.now();
+      record.epoch = dynamic_ != nullptr ? dynamic_->epoch() : 0;
       complete_record(pe, pending.record_index, /*cache_hit=*/true);
       continue;
     }
@@ -95,7 +232,7 @@ void QueryService::try_admit(runtime::Pe& pe) {
   }
 }
 
-void QueryService::start_engine(runtime::Pe& pe, const Pending& pending) {
+bool QueryService::start_engine(runtime::Pe& pe, const Pending& pending) {
   QueryRecord& record = pending_records_[pending.record_index];
   record.admit_us = pe.now();
 
@@ -105,13 +242,90 @@ void QueryService::start_engine(runtime::Pe& pe, const Pending& pending) {
   options.on_complete = [this, id](runtime::Pe& done_pe) {
     on_engine_complete(done_pe, id);
   };
+
   InFlight inflight;
   inflight.id = id;
   inflight.record_index = pending.record_index;
+
+  if (dynamic_ == nullptr) {
+    inflight.engine = std::make_unique<core::AcicEngine>(
+        machine_, *csr_, partition_, pending.source, config_.engine,
+        std::move(options));
+    running_.push_back(std::move(inflight));
+    return true;
+  }
+
+  // Dynamic serving: pin the current snapshot for the engine's lifetime
+  // — the answer is exact for this epoch no matter how the graph moves.
+  inflight.snap = dynamic_->snapshot_ptr();
+  record.epoch = inflight.snap->epoch;
+
+  const auto stale_it = stale_states_.find(pending.source);
+  if (stale_it != stale_states_.end()) {
+    StaleState stale = std::move(stale_it->second);
+    stale_states_.erase(stale_it);
+    stale_order_.erase(std::find(stale_order_.begin(), stale_order_.end(),
+                                 pending.source));
+    pe.charge(config_.repair_plan_cost_us);
+
+    dynamic::SsspState state;
+    state.source = pending.source;
+    state.epoch = stale.epoch;
+    state.dist = std::move(stale.dist);
+    state.parent =
+        dynamic::compute_parents(*stale.snap, pending.source, state.dist);
+    const dynamic::RepairPlan plan = dynamic::plan_repair(
+        *inflight.snap, state, dynamic_->applied_since(stale.epoch));
+    if (config_.registry != nullptr) {
+      config_.registry->append(obs_subtree_size_, pe.now(),
+                               static_cast<double>(plan.affected.size()));
+    }
+
+    if (plan.touches_nothing()) {
+      // The mutations that evicted this entry turned out not to change
+      // this source's distances (the eviction test is conservative):
+      // the parked answer is exact for the current epoch.  Serve it
+      // with no engine at all.
+      record.repaired = true;
+      if (config_.registry != nullptr) {
+        config_.registry->add(obs_repair_queries_, pe.id(), 1, pe.now());
+      }
+      if (config_.keep_distances) {
+        results_[id] = state.dist;
+      }
+      cache_.insert(pending.source, std::move(state.dist),
+                    inflight.snap->epoch);
+      complete_record(pe, pending.record_index, /*cache_hit=*/false);
+      return false;
+    }
+
+    const double affected_fraction =
+        static_cast<double>(plan.affected.size()) /
+        static_cast<double>(graph_view().num_vertices());
+    if (affected_fraction <= config_.recompute_fraction) {
+      record.repaired = true;
+      options.warm_dist = &plan.warm_dist;  // copied by the constructor
+      options.seeds = plan.seeds;
+      if (config_.registry != nullptr) {
+        config_.registry->add(obs_repair_queries_, pe.id(), 1, pe.now());
+      }
+      inflight.engine = std::make_unique<core::AcicEngine>(
+          machine_, inflight.snap->csr, partition_, pending.source,
+          config_.engine, std::move(options));
+      running_.push_back(std::move(inflight));
+      return true;
+    }
+    // Repair would touch most of the graph: fall through to a cold run.
+  }
+
+  if (config_.registry != nullptr) {
+    config_.registry->add(obs_recompute_queries_, pe.id(), 1, pe.now());
+  }
   inflight.engine = std::make_unique<core::AcicEngine>(
-      machine_, csr_, partition_, pending.source, config_.engine,
-      std::move(options));
+      machine_, inflight.snap->csr, partition_, pending.source,
+      config_.engine, std::move(options));
   running_.push_back(std::move(inflight));
+  return true;
 }
 
 void QueryService::on_engine_complete(runtime::Pe& pe, std::uint64_t id) {
@@ -127,8 +341,18 @@ void QueryService::on_engine_complete(runtime::Pe& pe, std::uint64_t id) {
   if (config_.keep_distances) {
     results_[id] = result.sssp.dist;
   }
-  cache_.insert(pending_records_[record_index].source,
-                std::move(result.sssp.dist));
+  if (dynamic_ == nullptr || it->snap->epoch == dynamic_->epoch()) {
+    cache_.insert(pending_records_[record_index].source,
+                  std::move(result.sssp.dist),
+                  dynamic_ != nullptr ? it->snap->epoch : 0);
+  } else {
+    // The graph moved on mid-run: the answer is exact for its own epoch
+    // (served as such) but caching it would poison current-epoch hits.
+    ++stale_results_dropped_;
+    if (config_.registry != nullptr) {
+      config_.registry->add(obs_stale_dropped_, pe.id(), 1, pe.now());
+    }
+  }
 
   // The engine's broadcast handler is below us on the stack: park the
   // engine and destroy it from a fresh task once this one unwinds.

@@ -35,6 +35,35 @@
 // traffic, so unbounded admission degrades every in-flight query at
 // once (the bench sweeps this).  Excess queries wait in FIFO order —
 // deliberate backpressure that shows up as queue_wait_us in the metrics.
+//
+// Dynamic serving (the DynamicGraph constructor) interleaves a third
+// event class: *mutation batches* (submit_mutations), applied on the
+// front end while queries run.  Consistency under churn:
+//
+//   * every admitted engine pins the graph snapshot current at its
+//     admission (shared_ptr), so a query's answer is exact for that
+//     epoch even if the graph moves on mid-run (bounded staleness; the
+//     record carries its epoch);
+//   * each applied batch sweeps the result cache with exact per-edge
+//     staleness tests — a removed/increased edge (u, v) only matters to
+//     an entry if D[u] + w_old == D[v] (the edge was a shortest-path
+//     witness; equality is conservative since the witness may be
+//     redundant), an inserted/decreased edge only if D[u] + w_new <
+//     D[v].  Surviving entries are provably still exact and stay;
+//   * stale entries are *parked*, not discarded: the next query for
+//     that source turns the parked distances into a warm start
+//     (src/dynamic/repair.hpp) — often the repair plan proves the old
+//     answer still exact and the query completes with no engine at all;
+//   * results finishing against an epoch older than current are served
+//     but not cached (stale_results_dropped counts them).
+//
+// Counters (registry): "server/mutations_applied",
+// "server/repair_queries", "server/recompute_queries",
+// "server/stale_results_dropped", "cache/invalidations" (attributed to
+// the partition block owning the mutated edge head, so per-region
+// eviction rollups fall out of Registry::at), and
+// "cache/stale_hits_prevented" — all timed, so bench/server_load's
+// timeseries CSV export carries them.
 
 #include <cstdint>
 #include <map>
@@ -42,6 +71,7 @@
 #include <vector>
 
 #include "src/core/acic.hpp"
+#include "src/dynamic/dynamic_graph.hpp"
 #include "src/graph/csr.hpp"
 #include "src/graph/partition.hpp"
 #include "src/obs/registry.hpp"
@@ -68,6 +98,18 @@ struct ServiceConfig {
   /// query id (memory-heavy; for tests and validation harnesses).
   bool keep_distances = false;
 
+  // ---- dynamic serving (DynamicGraph constructor only) ----------------
+  /// Front-end CPU charged per applied mutation record.
+  runtime::SimTime mutation_apply_cost_us = 0.5;
+  /// Front-end CPU charged to plan one warm repair at admission.
+  runtime::SimTime repair_plan_cost_us = 1.0;
+  /// Invalidated cache entries parked as warm-repair states (0 disables
+  /// warm repair; oldest parked state evicted beyond the bound).
+  std::size_t max_stale_states = 8;
+  /// A warm repair whose invalidated subtree exceeds this fraction of
+  /// the vertices falls back to a cold engine.
+  double recompute_fraction = 0.25;
+
   /// Optional observability registry: the service publishes
   /// "server/queries_submitted", "server/completed" and
   /// "server/cache_hits" counters plus "server/wait_queue_depth" and
@@ -87,6 +129,13 @@ class QueryService {
   /// outlive the service; `partition` must match machine.num_pes().
   QueryService(runtime::Machine& machine, const graph::Csr& csr,
                const graph::Partition1D& partition, ServiceConfig config);
+
+  /// Dynamic serving: queries run against `graph`'s snapshots while
+  /// submit_mutations applies batches under load.  `graph` and
+  /// `partition` must outlive the service; the vertex count (and hence
+  /// the partition) is invariant under mutation.
+  QueryService(runtime::Machine& machine, dynamic::DynamicGraph& graph,
+               const graph::Partition1D& partition, ServiceConfig config);
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -96,6 +145,19 @@ class QueryService {
   /// (arrival times must not precede the machine's current time); query
   /// ids must be unique across all submissions.
   void submit(const std::vector<QueryArrival>& arrivals);
+
+  /// Registers an apply timer per mutation batch (dynamic serving only;
+  /// asserts otherwise).  Batches apply on the front-end PE, sweep the
+  /// cache, and park stale entries for warm repair.
+  void submit_mutations(const std::vector<MutationEvent>& events);
+
+  /// Applied mutation records so far (dynamic serving; 0 otherwise).
+  std::uint64_t mutations_applied() const { return mutations_applied_; }
+  /// Completed results dropped from caching because the graph moved on
+  /// mid-run (their record still carries the epoch they are exact for).
+  std::uint64_t stale_results_dropped() const {
+    return stale_results_dropped_;
+  }
 
   /// Drives the machine until all traffic drains (every submitted query
   /// complete) or the time limit strikes.  Completed engines are
@@ -130,19 +192,43 @@ class QueryService {
     std::uint64_t id = 0;
     std::size_t record_index = 0;
     std::unique_ptr<core::AcicEngine> engine;
+    /// Dynamic serving: the snapshot the engine runs on, pinned for the
+    /// engine's lifetime (null on a static graph).
+    std::shared_ptr<const dynamic::GraphSnapshot> snap;
+  };
+  /// A parked invalidated cache entry: exact distances for `epoch`,
+  /// whose snapshot `snap` pins, awaiting a query to warm-repair.
+  struct StaleState {
+    std::vector<graph::Dist> dist;
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const dynamic::GraphSnapshot> snap;
   };
 
+  void define_counters();
   void on_arrival(runtime::Pe& pe, std::size_t record_index);
   void try_admit(runtime::Pe& pe);
-  void start_engine(runtime::Pe& pe, const Pending& pending);
+  /// Starts an engine for `pending`, or — when a parked stale state
+  /// proves the old answer still exact — completes it engine-free.
+  /// Returns true iff an engine now occupies an admission slot.
+  bool start_engine(runtime::Pe& pe, const Pending& pending);
   void on_engine_complete(runtime::Pe& pe, std::uint64_t id);
   void complete_record(runtime::Pe& pe, std::size_t record_index,
                        bool cache_hit);
   void sample_queue(runtime::SimTime time_us);
   void schedule_retirement_sweep(runtime::Pe& pe);
+  void apply_mutations(runtime::Pe& pe, const dynamic::MutationBatch& batch);
+  void park_stale_state(graph::VertexId source, StaleState state);
+
+  const graph::Csr& graph_view() const {
+    return dynamic_ != nullptr ? dynamic_->csr() : *csr_;
+  }
 
   runtime::Machine& machine_;
-  const graph::Csr& csr_;
+  /// Static mode: the frozen graph.  Null in dynamic mode (a reference
+  /// into a DynamicGraph would dangle across epochs).
+  const graph::Csr* csr_ = nullptr;
+  /// Dynamic mode: the mutating graph.  Null in static mode.
+  dynamic::DynamicGraph* dynamic_ = nullptr;
   const graph::Partition1D& partition_;
   ServiceConfig config_;
 
@@ -162,12 +248,25 @@ class QueryService {
 
   std::map<std::uint64_t, std::vector<graph::Dist>> results_;
 
+  // Dynamic serving state.
+  std::uint64_t mutations_applied_ = 0;
+  std::uint64_t stale_results_dropped_ = 0;
+  std::map<graph::VertexId, StaleState> stale_states_;
+  std::vector<graph::VertexId> stale_order_;  // front = oldest parked
+
   // Registry handles; valid iff config_.registry != nullptr.
   obs::CounterId obs_submitted_;
   obs::CounterId obs_completed_;
   obs::CounterId obs_cache_hits_;
   obs::SeriesId obs_wait_depth_;
   obs::SeriesId obs_running_;
+  obs::CounterId obs_mutations_;
+  obs::CounterId obs_invalidations_;
+  obs::CounterId obs_stale_prevented_;
+  obs::CounterId obs_repair_queries_;
+  obs::CounterId obs_recompute_queries_;
+  obs::CounterId obs_stale_dropped_;
+  obs::SeriesId obs_subtree_size_;
 };
 
 }  // namespace acic::server

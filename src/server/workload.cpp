@@ -80,4 +80,68 @@ std::vector<QueryArrival> generate_workload(const WorkloadConfig& config,
   return stream;
 }
 
+std::vector<MutationEvent> generate_mutation_stream(
+    const MutationWorkloadConfig& config, const graph::Csr& base) {
+  ACIC_ASSERT_MSG(base.num_vertices() >= 2,
+                  "mutation stream needs at least two vertices");
+  ACIC_ASSERT_MSG(base.num_edges() > 0,
+                  "mutation stream samples targets from the edge set");
+  ACIC_ASSERT_MSG(config.mutation_rate > 0.0 && config.batch_size > 0,
+                  "mutation rate and batch size must be positive");
+  ACIC_ASSERT_MSG(
+      config.insert_fraction >= 0.0 && config.remove_fraction >= 0.0 &&
+          config.insert_fraction + config.remove_fraction <= 1.0,
+      "mutation kind fractions must be a sub-distribution");
+
+  util::Xoshiro256 arrival_rng(util::derive_seed(config.seed, 10));
+  util::Xoshiro256 kind_rng(util::derive_seed(config.seed, 11));
+  util::Xoshiro256 edge_rng(util::derive_seed(config.seed, 12));
+  util::Xoshiro256 weight_rng(util::derive_seed(config.seed, 13));
+
+  const graph::VertexId n = base.num_vertices();
+  // Row of edge index e: the offsets array is ascending, so the owning
+  // source is the last row starting at or before e.
+  const auto src_of = [&base](std::size_t e) {
+    const auto& offsets = base.offsets();
+    const auto it = std::upper_bound(offsets.begin(), offsets.end(), e);
+    return static_cast<graph::VertexId>(it - offsets.begin()) - 1;
+  };
+
+  const double batches_per_us =
+      config.mutation_rate / static_cast<double>(config.batch_size) * 1e-6;
+
+  std::vector<MutationEvent> stream;
+  stream.reserve(config.num_batches);
+  runtime::SimTime t = config.start_us;
+  for (std::uint64_t b = 0; b < config.num_batches; ++b) {
+    t += -std::log(1.0 - arrival_rng.next_double()) / batches_per_us;
+    MutationEvent event;
+    event.apply_us = t;
+    event.batch.reserve(config.batch_size);
+    for (std::size_t m = 0; m < config.batch_size; ++m) {
+      const double u = kind_rng.next_double();
+      const double w =
+          weight_rng.next_double(config.min_weight, config.max_weight);
+      if (u < config.insert_fraction) {
+        // Random (src, dst) pair; a collision with an existing edge is a
+        // legitimate upsert, a self edge is rejected downstream.
+        const auto src = static_cast<graph::VertexId>(edge_rng.next_below(n));
+        const auto dst = static_cast<graph::VertexId>(edge_rng.next_below(n));
+        event.batch.push_back(dynamic::Mutation::insert(src, dst, w));
+      } else {
+        const std::size_t e = edge_rng.next_below(base.num_edges());
+        const graph::VertexId src = src_of(e);
+        const graph::VertexId dst = base.neighbors()[e].dst;
+        if (u < config.insert_fraction + config.remove_fraction) {
+          event.batch.push_back(dynamic::Mutation::remove(src, dst));
+        } else {
+          event.batch.push_back(dynamic::Mutation::reweight(src, dst, w));
+        }
+      }
+    }
+    stream.push_back(std::move(event));
+  }
+  return stream;
+}
+
 }  // namespace acic::server

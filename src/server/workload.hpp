@@ -16,9 +16,20 @@
 // same (id, arrival time, source) sequence on every run, which the
 // determinism regression tests rely on.
 
+// Dynamic serving adds a second stream: timestamped *mutation batches*
+// (generate_mutation_stream) that the service applies to its
+// DynamicGraph while queries are in flight.  Batches arrive Poisson at
+// a configured batch rate; each batch mixes inserts, removals and
+// reweights.  Removal/reweight targets are drawn from the base graph's
+// edge set so most of them hit a live edge (a target already removed is
+// simply rejected by DynamicGraph::apply — realistic feeds contain such
+// no-ops too).  Deterministic in the seed like the query stream.
+
 #include <cstdint>
 #include <vector>
 
+#include "src/dynamic/mutation.hpp"
+#include "src/graph/csr.hpp"
 #include "src/graph/types.hpp"
 #include "src/runtime/network.hpp"
 
@@ -52,5 +63,35 @@ struct QueryArrival {
 /// `num_vertices` vertices.  Arrival times are strictly non-decreasing.
 std::vector<QueryArrival> generate_workload(const WorkloadConfig& config,
                                             graph::VertexId num_vertices);
+
+struct MutationWorkloadConfig {
+  std::uint64_t seed = 7;
+  /// Offered mutation load, in *individual edge mutations* per simulated
+  /// second; batches arrive Poisson at rate mutation_rate / batch_size.
+  double mutation_rate = 500.0;
+  /// Mutations per applied batch (one batch = one epoch).
+  std::size_t batch_size = 8;
+  std::uint64_t num_batches = 50;
+  /// Kind mix; the remainder (1 - insert - remove) reweights.
+  double insert_fraction = 0.3;
+  double remove_fraction = 0.3;
+  /// Inserted / reweighted edge weights, uniform in [min, max).
+  double min_weight = 1.0;
+  double max_weight = 10.0;
+  runtime::SimTime start_us = 0.0;
+};
+
+/// One mutation batch and the simulated time it applies.
+struct MutationEvent {
+  runtime::SimTime apply_us = 0.0;
+  dynamic::MutationBatch batch;
+};
+
+/// Generates the deterministic mutation stream for `config` against
+/// `base` (edge targets for remove/reweight are sampled from its edge
+/// set; insert endpoints from its vertex set).  Apply times are
+/// strictly non-decreasing.
+std::vector<MutationEvent> generate_mutation_stream(
+    const MutationWorkloadConfig& config, const graph::Csr& base);
 
 }  // namespace acic::server

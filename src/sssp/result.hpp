@@ -52,6 +52,13 @@ struct SsspMetrics {
 
 struct SsspResult {
   std::vector<graph::Dist> dist;
+  /// Shortest-path-tree parent per vertex (kInvalidVertex for the source
+  /// and unreachable vertices): parent[v] is a *witness* in-neighbor u
+  /// with dist[u] + w(u, v) == dist[v].  Empty unless the producer
+  /// tracks parents — the dynamic layer (src/dynamic/repair.hpp) fills
+  /// it, because deletion repair invalidates exactly the subtree hanging
+  /// off a removed tree edge.
+  std::vector<graph::VertexId> parent;
   SsspMetrics metrics;
 };
 
