@@ -1,7 +1,7 @@
 // Query server: the serving-layer demo and acceptance harness.
 //
 // Runs an open-loop Zipf workload of SSSP queries against a QueryService
-// on one simulated Topology{2,2,2} machine (16 worker PEs), with
+// on one simulated Topology{2,2,2} machine (8 worker PEs), with
 // concurrent per-query ACIC engines, bounded admission and an LRU result
 // cache.  Afterwards it *proves* the serving properties:
 //   1. every query completed;
@@ -12,6 +12,12 @@
 //
 //   ./examples/query_server [--scale N] [--queries Q] [--qps R]
 //                           [--seed S] [--inflight K] [--cache C]
+//                           [--batch B] [--landmarks L] [--p2p F]
+//
+// With --p2p > 0 a fraction of the stream is point-to-point; --landmarks
+// enables the exact landmark/goal-directed tiers for them, and --batch
+// coalesces queued full-SSSP queries into shared multi-source engine
+// passes.  Property 3 extends to every tier: answers equal Dijkstra.
 
 #include <cstdio>
 #include <cstring>
@@ -34,21 +40,28 @@ struct RunOutput {
   bool cached_answer_checked = false;
 };
 
+struct ServeKnobs {
+  std::uint32_t max_inflight = 3;
+  std::size_t cache_cap = 16;
+  std::size_t max_batch = 1;
+  std::size_t num_landmarks = 0;
+};
+
 RunOutput run_service(const acic::graph::Csr& csr,
                       const acic::server::WorkloadConfig& wl,
-                      std::uint32_t max_inflight, std::size_t cache_cap,
-                      bool keep_distances,
-                      std::vector<acic::server::QueryRecord>* out_records,
-                      acic::runtime::Machine** /*unused*/ = nullptr) {
+                      const ServeKnobs& knobs, bool retain_results,
+                      std::vector<acic::server::QueryRecord>* out_records) {
   using namespace acic;
   runtime::Machine machine(runtime::Topology{2, 2, 2});
   const graph::Partition1D partition =
       graph::Partition1D::block(csr.num_vertices(), machine.num_pes());
 
   server::ServiceConfig config;
-  config.max_inflight = max_inflight;
-  config.cache_capacity = cache_cap;
-  config.keep_distances = keep_distances;
+  config.max_inflight = knobs.max_inflight;
+  config.cache_capacity = knobs.cache_cap;
+  config.retain_full_results = retain_results;
+  config.batching.max_batch = knobs.max_batch;
+  config.landmarks.num_landmarks = knobs.num_landmarks;
   server::QueryService service(machine, csr, partition, config);
 
   service.submit(server::generate_workload(wl, csr.num_vertices()));
@@ -60,30 +73,45 @@ RunOutput run_service(const acic::graph::Csr& csr,
   out.submitted = service.submitted_count();
   if (out_records != nullptr) *out_records = service.records();
 
-  // Property 3: cached repeat-source answers match a fresh engine run.
-  // (Checked here while the service is alive so distances_for works.)
-  if (keep_distances) {
+  // Property 3: cached repeat-source answers match a fresh engine run,
+  // and every point-to-point answer equals Dijkstra's dist[target].
+  // (Checked here while the service is alive so result_of works.)
+  if (retain_results) {
     for (const server::QueryRecord& r : service.records()) {
-      if (!r.cache_hit) continue;
+      // p2p cache hits retain only their scalar (validated in the p2p
+      // loop below); this cross-check needs a full-vector hit.
+      if (!r.cache_hit() || r.mode == server::ResultMode::kPointToPoint) {
+        continue;
+      }
       runtime::Machine fresh(runtime::Topology{2, 2, 2});
       const auto expected = core::acic_sssp(
           fresh, csr,
           graph::Partition1D::block(csr.num_vertices(), fresh.num_pes()),
           r.source, core::AcicConfig{});
-      const auto* served = service.distances_for(r.id);
-      if (served == nullptr || *served != expected.sssp.dist) {
+      const auto* served = service.result_of(r.id);
+      if (served == nullptr || served->distances != expected.sssp.dist) {
         std::printf("PROPERTY FAILED: cached answer for source %u "
                     "differs from a fresh engine run\n", r.source);
         std::exit(1);
       }
       const auto dijkstra = baselines::dijkstra(csr, r.source);
-      if (*served != dijkstra) {
+      if (served->distances != dijkstra) {
         std::printf("PROPERTY FAILED: cached answer for source %u "
                     "differs from Dijkstra\n", r.source);
         std::exit(1);
       }
       out.cached_answer_checked = true;
       break;  // one full cross-check is expensive; one suffices here
+    }
+  }
+  for (const server::QueryRecord& r : service.records()) {
+    if (r.mode != server::ResultMode::kPointToPoint) continue;
+    const auto* result = service.result_of(r.id);
+    if (result == nullptr ||
+        result->distance != baselines::dijkstra(csr, r.source)[r.target]) {
+      std::printf("PROPERTY FAILED: p2p answer for (%u, %u) differs "
+                  "from Dijkstra\n", r.source, r.target);
+      std::exit(1);
     }
   }
   return out;
@@ -111,10 +139,14 @@ int main(int argc, char** argv) {
   wl.source_universe = 32;
   wl.zipf_exponent = 0.9;
 
-  const auto inflight =
-      static_cast<std::uint32_t>(opts.get_int("inflight", 3));
-  const auto cache_cap =
-      static_cast<std::size_t>(opts.get_int("cache", 16));
+  wl.p2p_fraction = opts.get_double("p2p", 0.25);
+
+  ServeKnobs knobs;
+  knobs.max_inflight = static_cast<std::uint32_t>(opts.get_int("inflight", 3));
+  knobs.cache_cap = static_cast<std::size_t>(opts.get_int("cache", 16));
+  knobs.max_batch = static_cast<std::size_t>(opts.get_int("batch", 4));
+  knobs.num_landmarks =
+      static_cast<std::size_t>(opts.get_int("landmarks", 6));
 
   std::printf("graph: %u vertices, %zu edges\n", csr.num_vertices(),
               csr.num_edges());
@@ -122,13 +154,14 @@ int main(int argc, char** argv) {
               "sources\n",
               static_cast<unsigned long long>(wl.num_queries), wl.qps,
               wl.zipf_exponent, wl.source_universe);
-  std::printf("service: max_inflight=%u, cache=%zu entries, machine "
-              "Topology{2,2,2} (16 worker PEs)\n\n",
-              inflight, cache_cap);
+  std::printf("service: max_inflight=%u, cache=%zu entries, batch<=%zu, "
+              "%zu landmarks, machine Topology{2,2,2} (8 worker PEs)\n\n",
+              knobs.max_inflight, knobs.cache_cap, knobs.max_batch,
+              knobs.num_landmarks);
 
   std::vector<server::QueryRecord> first_records;
-  const RunOutput first = run_service(csr, wl, inflight, cache_cap,
-                                      /*keep_distances=*/true,
+  const RunOutput first = run_service(csr, wl, knobs,
+                                      /*retain_results=*/true,
                                       &first_records);
   std::printf("%s", server::format_summary(first.summary).c_str());
 
@@ -152,8 +185,7 @@ int main(int argc, char** argv) {
 
   // Property 4: bit-determinism of the latency sequence.
   std::vector<server::QueryRecord> second_records;
-  run_service(csr, wl, inflight, cache_cap, /*keep_distances=*/false,
-              &second_records);
+  run_service(csr, wl, knobs, /*retain_results=*/false, &second_records);
   if (first_records.size() != second_records.size()) {
     std::printf("FAILED: determinism — record counts differ\n");
     return 1;

@@ -26,27 +26,48 @@ using sssp::Update;
 namespace {
 
 /// The in-flight form of an update inside this engine: the wire pair
-/// (vertex, dist) plus the distance's histogram bucket, computed once at
-/// creation time and carried along.  Every PE buckets with the same
-/// width, so the receiver-side value is identical — carrying it replaces
-/// an fp divide per delivery, per pq pop and per expansion.  The bucket
-/// packs into Update's existing alignment padding: sizeof(UpdateMsg) ==
-/// sizeof(Update), so tram buffer footprints are unchanged (and the
-/// simulated wire size comes from TramConfig::item_bytes regardless).
+/// (vertex, dist) plus a meta word — the distance's histogram bucket
+/// (low 24 bits, computed once at creation time and carried along) and
+/// the distance lane (high 8 bits; always 0 outside batched multi-source
+/// runs).  Every PE buckets with the same width, so the receiver-side
+/// bucket is identical — carrying it replaces an fp divide per delivery,
+/// per pq pop and per expansion.  The meta word packs into Update's
+/// existing alignment padding: sizeof(UpdateMsg) == sizeof(Update), so
+/// tram buffer footprints are unchanged (and the simulated wire size
+/// comes from TramConfig::item_bytes regardless).
+constexpr std::uint32_t kLaneShift = 24;
+constexpr std::uint32_t kBucketMask = (1u << kLaneShift) - 1;
+constexpr std::size_t kMaxLanes = 256;  // 32 - kLaneShift tag bits
+
 struct UpdateMsg {
   VertexId vertex = 0;
-  std::uint32_t bucket = 0;
+  std::uint32_t meta = 0;  // bucket | lane << kLaneShift
   Dist dist = 0.0;
 };
 static_assert(sizeof(UpdateMsg) == sizeof(Update));
 
-/// Same ordering as sssp::UpdateMinOrder on the (dist, vertex) key; the
-/// bucket is a function of dist, so ties are still only between
-/// indistinguishable elements and pop order stays deterministic.
+inline std::uint32_t make_meta(std::size_t bucket, std::uint32_t lane) {
+  ACIC_HOT_ASSERT(bucket <= kBucketMask);
+  return static_cast<std::uint32_t>(bucket) | (lane << kLaneShift);
+}
+inline std::size_t bucket_of(const UpdateMsg& u) {
+  return u.meta & kBucketMask;
+}
+inline std::uint32_t lane_of(const UpdateMsg& u) {
+  return u.meta >> kLaneShift;
+}
+
+/// Same ordering as sssp::UpdateMinOrder on the (dist, vertex) key, with
+/// the meta word as the final tie-break: equal distances mean equal
+/// buckets (the bucket is a function of dist), so the meta comparison
+/// reduces to the lane — single-lane pop order is bit-identical to the
+/// pre-lane engine, and multi-lane ties between distinct queries resolve
+/// deterministically by lane index.
 struct UpdateMsgMinOrder {
   bool operator()(const UpdateMsg& a, const UpdateMsg& b) const {
     if (a.dist != b.dist) return a.dist > b.dist;
-    return a.vertex > b.vertex;
+    if (a.vertex != b.vertex) return a.vertex > b.vertex;
+    return a.meta > b.meta;
   }
 };
 
@@ -56,14 +77,22 @@ struct UpdateMsgMinOrder {
 struct PeState {
   VertexId first = 0;  // owned vertex range [first, last)
   VertexId last = 0;
-  std::vector<Dist> dist;  // indexed by (v - first)
+  std::size_t width = 0;   // last - first, hoisted for lane indexing
+  /// Lane-major distance slots: lanes × width, indexed by
+  /// (lane * width + (v - first)).  Single-lane runs see the exact
+  /// pre-lane layout (lane 0 at offset 0).
+  std::vector<Dist> dist;
 
   // By value (not unique_ptr): bucketing touches it once per
   // created and once per processed update, so the extra pointer
   // chase was visible at wall-clock scale.
   UpdateHistogram histogram{1, 1.0, 1};
-  BucketedHold tram_hold{1};
-  BucketedHold pq_hold{1};
+  /// Holds keep the full UpdateMsg so the lane tag (and the
+  /// creation-time bucket) survive the wait; releases re-emit the held
+  /// message verbatim, which equals the old recompute bit-for-bit
+  /// because the bucket is a pure function of the distance.
+  BucketedHoldT<UpdateMsg> tram_hold{1};
+  BucketedHoldT<UpdateMsg> pq_hold{1};
   /// 4-ary min-heap of pending expansions (pop order identical to the
   /// former std::priority_queue: the order ties only between
   /// bit-identical updates).  reserve() keeps steady-state push/pop off
@@ -95,19 +124,20 @@ struct PeState {
   /// Reusable hold-release scratch for on_broadcast (per-PE, not shared:
   /// under the parallel engine broadcasts on different nodes run
   /// concurrently).
-  std::vector<Update> release_scratch;
+  std::vector<UpdateMsg> release_scratch;
 
   bool terminated = false;
 };
 
 /// A stolen expansion chunk waiting on a process's shared work queue:
-/// relax edges [begin, end) of `vertex` at distance `dist`.
+/// relax edges [begin, end) of `vertex` at distance `dist` on behalf of
+/// the lane packed in `meta` (alongside the histogram bucket of `dist`).
 struct StealChunk {
   VertexId vertex = 0;
   Dist dist = 0.0;
   std::size_t begin = 0;
   std::size_t end = 0;
-  std::size_t bucket = 0;  // histogram bucket of `dist`
+  std::uint32_t meta = 0;
 };
 
 }  // namespace
@@ -131,21 +161,37 @@ class AcicEngine::Impl {
     ACIC_ASSERT_MSG(options_.warm_dist == nullptr ||
                         options_.warm_dist->size() == csr.num_vertices(),
                     "warm_dist must cover every vertex");
+    if (!options_.sources.empty()) {
+      ACIC_ASSERT_MSG(options_.sources.size() <= kMaxLanes,
+                      "at most 256 lanes (8-bit lane tag)");
+      ACIC_ASSERT_MSG(options_.sources.front() == source,
+                      "sources[0] must equal the primary source");
+      ACIC_ASSERT_MSG(options_.warm_dist == nullptr,
+                      "multi-source lanes and warm start are exclusive");
+      ACIC_ASSERT_MSG(!config_.use_vertex_termination,
+                      "vertex termination is single-source only");
+      ACIC_ASSERT(config_.num_buckets <= kBucketMask + 1);
+      for (const VertexId s : options_.sources) {
+        ACIC_ASSERT(s < csr.num_vertices());
+      }
+      num_lanes_ = static_cast<std::uint32_t>(options_.sources.size());
+    }
     for (PeId p = 0; p < machine_.num_pes(); ++p) {
       PeState& state = pes_[p];
       state.first = partition.begin(p);
       state.last = partition.end(p);
+      state.width = state.last - state.first;
       if (options_.warm_dist != nullptr) {
         state.dist.assign(
             options_.warm_dist->begin() + state.first,
             options_.warm_dist->begin() + state.last);
       } else {
-        state.dist.assign(state.last - state.first, graph::kInfDist);
+        state.dist.assign(state.width * num_lanes_, graph::kInfDist);
       }
       state.histogram = UpdateHistogram(
           config_.num_buckets, config_.bucket_width, csr.num_vertices());
-      state.tram_hold = BucketedHold(config_.num_buckets);
-      state.pq_hold = BucketedHold(config_.num_buckets);
+      state.tram_hold = BucketedHoldT<UpdateMsg>(config_.num_buckets);
+      state.pq_hold = BucketedHoldT<UpdateMsg>(config_.num_buckets);
       state.pq.reserve(std::min<std::size_t>(
           state.last - state.first, 4096));
       // Before the first broadcast the activity is trivially low, so the
@@ -213,14 +259,36 @@ class AcicEngine::Impl {
         machine_.schedule_at(
             start, p, [this, seeds = std::move(by_owner[p])](Pe& pe) {
               for (const Update& seed : seeds) {
-                create_update(pe, seed.vertex, seed.dist);
+                create_update(pe, seed.vertex, seed.dist, /*lane=*/0);
+              }
+            });
+      }
+    } else if (num_lanes_ > 1) {
+      // Batched multi-source: every lane's (source, 0) seed, grouped by
+      // owner in lane order — one deterministic schedule per batch
+      // regardless of where the sources live.
+      struct LaneSeed {
+        VertexId vertex;
+        std::uint32_t lane;
+      };
+      std::vector<std::vector<LaneSeed>> by_owner(machine_.num_pes());
+      for (std::uint32_t lane = 0; lane < num_lanes_; ++lane) {
+        const VertexId s = options_.sources[lane];
+        by_owner[partition_.owner(s)].push_back(LaneSeed{s, lane});
+      }
+      for (PeId p = 0; p < machine_.num_pes(); ++p) {
+        if (by_owner[p].empty()) continue;
+        machine_.schedule_at(
+            start, p, [this, seeds = std::move(by_owner[p])](Pe& pe) {
+              for (const LaneSeed& seed : seeds) {
+                create_update(pe, seed.vertex, 0.0, seed.lane);
               }
             });
       }
     } else {
       const PeId source_owner = partition_.owner(source_);
       machine_.schedule_at(start, source_owner, [this](Pe& pe) {
-        create_update(pe, source_, 0.0);
+        create_update(pe, source_, 0.0, /*lane=*/0);
       });
     }
     for (PeId p = 0; p < machine_.num_pes(); ++p) {
@@ -245,8 +313,20 @@ class AcicEngine::Impl {
     result.histograms = snapshots_;
 
     result.sssp.dist.assign(csr_.num_vertices(), graph::kInfDist);
+    if (!options_.sources.empty()) {
+      result.lane_dist.assign(
+          num_lanes_,
+          std::vector<Dist>(csr_.num_vertices(), graph::kInfDist));
+      for (const PeState& state : pes_) {
+        for (std::uint32_t lane = 0; lane < num_lanes_; ++lane) {
+          std::copy(state.dist.begin() + lane * state.width,
+                    state.dist.begin() + (lane + 1) * state.width,
+                    result.lane_dist[lane].begin() + state.first);
+        }
+      }
+    }
     for (const PeState& state : pes_) {
-      std::copy(state.dist.begin(), state.dist.end(),
+      std::copy(state.dist.begin(), state.dist.begin() + state.width,
                 result.sssp.dist.begin() + state.first);
       result.sssp.metrics.updates_created += state.created;
       result.sssp.metrics.updates_processed += state.processed;
@@ -286,7 +366,8 @@ class AcicEngine::Impl {
     /// simulation is bit-identical with or without it.
     void prefetch(Pe& pe, const UpdateMsg& u) const {
       const PeState& state = impl->pes_[pe.id()];
-      util::prefetch_read(state.dist.data() + (u.vertex - state.first));
+      util::prefetch_read(state.dist.data() + lane_of(u) * state.width +
+                          (u.vertex - state.first));
       util::prefetch_read(impl->csr_.offsets().data() + u.vertex);
     }
   };
@@ -296,27 +377,28 @@ class AcicEngine::Impl {
 
   // ---- update lifecycle -------------------------------------------------
 
-  /// Creates update (target, d): counts it, adds it to the local
-  /// histogram and routes it through the tram threshold (paper fig. 2,
-  /// green "create" block).
-  void create_update(Pe& pe, VertexId target, Dist d) {
-    create_update(pe, state_of(pe), target, d);
+  /// Creates update (target, d) on `lane`: counts it, adds it to the
+  /// local histogram and routes it through the tram threshold (paper
+  /// fig. 2, green "create" block).
+  void create_update(Pe& pe, VertexId target, Dist d, std::uint32_t lane) {
+    create_update(pe, state_of(pe), target, d, lane);
   }
 
   /// Overload taking the already-resolved PE state: expand's inner loop
   /// calls this once per out-edge.
-  void create_update(Pe& pe, PeState& state, VertexId target, Dist d) {
+  void create_update(Pe& pe, PeState& state, VertexId target, Dist d,
+                     std::uint32_t lane) {
     ++state.created;
     const std::size_t bucket = state.histogram.bucket_of(d);
     state.histogram.increment(bucket);
     if (!config_.use_tram_hold || bucket <= state.t_tram) {
       ++state.sent_directly;
-      tram_->insert(
-          pe, partition_.owner(target),
-          UpdateMsg{target, static_cast<std::uint32_t>(bucket), d});
+      tram_->insert(pe, partition_.owner(target),
+                    UpdateMsg{target, make_meta(bucket, lane), d});
     } else {
       ++state.held_in_tram;
-      state.tram_hold.put(bucket, Update{target, d});
+      state.tram_hold.put(bucket,
+                          UpdateMsg{target, make_meta(bucket, lane), d});
       if (config_.registry != nullptr) {
         config_.registry->add(obs_held_tram_, pe.id(), 1, pe.now());
       }
@@ -329,38 +411,40 @@ class AcicEngine::Impl {
   /// supersede it (the paper's optimal-update generation).
   void on_deliver(Pe& pe, const UpdateMsg& u) {
     PeState& state = state_of(pe);
+    const std::size_t bucket = bucket_of(u);
     if (state.terminated) {
       // Early termination declared: every reachable vertex is final, so
       // any straggler update is by definition rejectable.
-      mark_processed_bucket(state, u.bucket);
+      mark_processed_bucket(state, bucket);
       ++state.rejected;
       return;
     }
     pe.charge(config_.costs.update_apply_us);
-    const VertexId local = u.vertex - state.first;
     ACIC_HOT_ASSERT(u.vertex >= state.first && u.vertex < state.last);
+    const std::size_t slot =
+        lane_of(u) * state.width + (u.vertex - state.first);
 
     // The update carries its creation-time bucket: the same value serves
     // the rejection decrement and the pq/hold routing below.
-    if (u.dist >= state.dist[local]) {
-      mark_processed_bucket(state, u.bucket);
+    if (u.dist >= state.dist[slot]) {
+      mark_processed_bucket(state, bucket);
       ++state.rejected;
       return;
     }
-    if (state.dist[local] == graph::kInfDist) ++state.touched;
-    state.dist[local] = u.dist;
+    if (state.dist[slot] == graph::kInfDist) ++state.touched;
+    state.dist[slot] = u.dist;
 
     if (!config_.use_pq) {
       expand(pe, u);  // baseline behaviour: relax out-edges immediately
       return;
     }
-    if (!config_.use_pq_hold || u.bucket <= state.t_pq) {
+    if (!config_.use_pq_hold || bucket <= state.t_pq) {
       ++state.entered_pq_directly;
       pe.charge(config_.costs.pq_op_us);
       state.pq.push(u);
     } else {
       ++state.held_in_pq_hold;
-      state.pq_hold.put(u.bucket, Update{u.vertex, u.dist});
+      state.pq_hold.put(bucket, u);
       if (config_.registry != nullptr) {
         config_.registry->add(obs_held_pq_, pe.id(), 1, pe.now());
       }
@@ -382,16 +466,18 @@ class AcicEngine::Impl {
       if (!state.pq.empty()) {
         const UpdateMsg& ahead = state.pq.top();
         util::prefetch_read(state.dist.data() +
+                            lane_of(ahead) * state.width +
                             (ahead.vertex - state.first));
         util::prefetch_read(csr_.offsets().data() + ahead.vertex);
       }
       any = true;
-      const VertexId local = u.vertex - state.first;
-      if (state.dist[local] == u.dist) {
+      const std::size_t slot =
+          lane_of(u) * state.width + (u.vertex - state.first);
+      if (state.dist[slot] == u.dist) {
         expand(pe, u);
       } else {
         // A better update arrived while this one sat in pq: it is wasted.
-        mark_processed_bucket(state, u.bucket);
+        mark_processed_bucket(state, bucket_of(u));
         ++state.superseded;
       }
     }
@@ -415,14 +501,15 @@ class AcicEngine::Impl {
     } else {
       PeState& state = state_of(pe);
       const runtime::SimTime relax_us = config_.costs.edge_relax_us;
+      const std::uint32_t lane = lane_of(u);
       for (const graph::Neighbor& nb : row) {
         pe.charge(relax_us);
-        create_update(pe, state, nb.dst, u.dist + nb.weight);
+        create_update(pe, state, nb.dst, u.dist + nb.weight, lane);
       }
     }
     PeState& state = state_of(pe);
     ++state.expanded;
-    mark_processed_bucket(state, u.bucket);
+    mark_processed_bucket(state, bucket_of(u));
   }
 
   /// Work-stealing expansion: split the row into chunks on the shared
@@ -435,7 +522,7 @@ class AcicEngine::Impl {
     PeState& owner = state_of(pe);
     const runtime::Topology& topo = machine_.topology();
     const std::uint32_t proc = topo.proc_of(pe.id());
-    const std::size_t request_bucket = u.bucket;
+    const std::size_t request_bucket = bucket_of(u);
 
     std::size_t begin = 0;
     while (begin < row.size()) {
@@ -445,7 +532,7 @@ class AcicEngine::Impl {
       owner.histogram.increment(request_bucket);
       pe.charge(config_.steal_queue_op_us);
       steal_queues_[proc].push_back(
-          StealChunk{u.vertex, u.dist, begin, end, request_bucket});
+          StealChunk{u.vertex, u.dist, begin, end, u.meta});
       begin = end;
     }
 
@@ -468,7 +555,8 @@ class AcicEngine::Impl {
   void expand_hub_split(Pe& pe, const UpdateMsg& u,
                         std::span<const graph::Neighbor> row) {
     PeState& owner = state_of(pe);
-    const std::size_t request_bucket = u.bucket;
+    const std::size_t request_bucket = bucket_of(u);
+    const std::uint32_t lane = lane_of(u);
     const std::uint32_t pes = machine_.num_pes();
     const std::size_t chunk_len =
         std::max<std::size_t>(config_.steal_chunk_edges,
@@ -483,13 +571,13 @@ class AcicEngine::Impl {
 
       const PeId target = next % pes;
       next = target + 1;
-      auto relax_chunk = [this, d = u.dist, request_bucket, begin, end,
-                          vertex = u.vertex](Pe& worker) {
+      auto relax_chunk = [this, d = u.dist, request_bucket, lane, begin,
+                          end, vertex = u.vertex](Pe& worker) {
         const auto chunk_row = csr_.out_neighbors(vertex);
         for (std::size_t i = begin; i < end; ++i) {
           worker.charge(config_.costs.edge_relax_us);
           create_update(worker, chunk_row[i].dst,
-                        d + chunk_row[i].weight);
+                        d + chunk_row[i].weight, lane);
         }
         PeState& state = state_of(worker);
         ++state.processed;
@@ -514,22 +602,20 @@ class AcicEngine::Impl {
     const StealChunk chunk = queue.front();
     queue.pop_front();
     const auto row = csr_.out_neighbors(chunk.vertex);
+    const std::uint32_t lane = chunk.meta >> kLaneShift;
     for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
       pe.charge(config_.costs.edge_relax_us);
-      create_update(pe, row[i].dst, chunk.dist + row[i].weight);
+      create_update(pe, row[i].dst, chunk.dist + row[i].weight, lane);
     }
     PeState& state = state_of(pe);
     ++state.processed;
-    state.histogram.decrement(chunk.bucket);
+    state.histogram.decrement(chunk.meta & kBucketMask);
     return true;
   }
 
-  void mark_processed(PeState& state, Dist d) {
-    mark_processed_bucket(state, state.histogram.bucket_of(d));
-  }
-
-  /// Overload for callers that already bucketed the distance (the
-  /// bucket_of divide once per update was visible at wall-clock scale).
+  /// Every caller carries the creation-time bucket in its UpdateMsg meta
+  /// word (the bucket_of divide once per update was visible at
+  /// wall-clock scale), so processing never re-buckets.
   void mark_processed_bucket(PeState& state, std::size_t bucket) {
     ++state.processed;
     state.histogram.decrement(bucket);
@@ -659,15 +745,15 @@ class AcicEngine::Impl {
   /// created == processed conservation invariant survives).
   void abandon_remaining(PeState& state) {
     while (!state.pq.empty()) {
-      mark_processed_bucket(state, state.pq.top().bucket);
+      mark_processed_bucket(state, bucket_of(state.pq.top()));
       ++state.superseded;
       state.pq.pop();
     }
-    std::vector<Update> leftovers;
+    std::vector<UpdateMsg> leftovers;
     state.pq_hold.release_up_to(config_.num_buckets - 1, &leftovers);
     state.tram_hold.release_up_to(config_.num_buckets - 1, &leftovers);
-    for (const Update& u : leftovers) {
-      mark_processed(state, u.dist);
+    for (const UpdateMsg& u : leftovers) {
+      mark_processed_bucket(state, bucket_of(u));
       ++state.superseded;
     }
   }
@@ -703,22 +789,18 @@ class AcicEngine::Impl {
     state.t_pq = static_cast<std::size_t>(payload[1]);
     state.lowest_active_bucket = static_cast<std::size_t>(payload[3]);
 
-    std::vector<Update>& release_buffer = state.release_scratch;
+    std::vector<UpdateMsg>& release_buffer = state.release_scratch;
     release_buffer.clear();
     state.tram_hold.release_up_to(state.t_tram, &release_buffer);
     if (config_.registry != nullptr && !release_buffer.empty()) {
       config_.registry->add(obs_released_tram_, pe.id(),
                             release_buffer.size(), pe.now());
     }
-    for (const Update& u : release_buffer) {
-      // Held updates dropped their bucket (the holds store the wire
-      // pair); recompute it once here — releases are per-broadcast, not
-      // per-update, so the divide is cold.
-      tram_->insert(pe, partition_.owner(u.vertex),
-                    UpdateMsg{u.vertex,
-                              static_cast<std::uint32_t>(
-                                  state.histogram.bucket_of(u.dist)),
-                              u.dist});
+    for (const UpdateMsg& u : release_buffer) {
+      // The held message already carries its bucket and lane; re-emit it
+      // verbatim (bit-identical to the old release-time re-bucketing —
+      // the bucket is a pure function of the distance).
+      tram_->insert(pe, partition_.owner(u.vertex), u);
     }
 
     release_buffer.clear();
@@ -727,12 +809,9 @@ class AcicEngine::Impl {
       config_.registry->add(obs_released_pq_, pe.id(),
                             release_buffer.size(), pe.now());
     }
-    for (const Update& u : release_buffer) {
+    for (const UpdateMsg& u : release_buffer) {
       pe.charge(config_.costs.pq_op_us);
-      state.pq.push(UpdateMsg{u.vertex,
-                              static_cast<std::uint32_t>(
-                                  state.histogram.bucket_of(u.dist)),
-                              u.dist});
+      state.pq.push(u);
     }
 
     // The paper's manual flush: guarantees buffered updates eventually
@@ -752,6 +831,9 @@ class AcicEngine::Impl {
   AcicEngineOptions options_;
 
   std::vector<PeState> pes_;
+  /// Distance lanes carried by this engine (1 outside batched
+  /// multi-source mode; == options_.sources.size() inside it).
+  std::uint32_t num_lanes_ = 1;
   std::vector<runtime::IdleHandlerId> idle_handler_ids_;
   /// Per-node retirement counters (cache-line padded: each node's PEs
   /// retire on their own shard under the parallel engine).

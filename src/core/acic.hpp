@@ -68,6 +68,10 @@ struct AcicRunResult {
   std::vector<HistogramSnapshot> histograms;
   /// Per-worker busy time, for load-imbalance analysis.
   std::vector<runtime::SimTime> pe_busy_us;
+  /// Batched multi-source runs only (AcicEngineOptions::sources): one
+  /// full distance vector per lane, lane_dist[i][v] == d(sources[i], v).
+  /// Empty for classic single-source runs (use sssp.dist).
+  std::vector<std::vector<graph::Dist>> lane_dist;
 };
 
 /// Options controlling how an engine instance attaches to the machine
@@ -103,6 +107,22 @@ struct AcicEngineOptions {
   /// outlive the constructor call only (the engine copies its slices).
   const std::vector<graph::Dist>* warm_dist = nullptr;
   std::vector<sssp::Update> seeds;
+
+  /// Batched multi-source mode (src/server/ query batching).  When
+  /// non-empty, the engine runs one shared label-correcting pass over
+  /// `sources.size()` independent *distance lanes*: every update carries
+  /// an 8-bit lane tag packed into its bucket word (so the wire format
+  /// stays 16 bytes), each PE keeps lanes × |owned| distance slots, and
+  /// lane i's fixed point equals a solo run from sources[i] exactly —
+  /// the lanes share the tram, the histogram/threshold cycle and the
+  /// quiescence counters, which is where the batching amortization comes
+  /// from, but never read each other's distances.  Constraints:
+  /// sources[0] must equal the constructor's `source`, at most 256 lanes
+  /// (tag width), and incompatible with `warm_dist` (warm repair is a
+  /// per-query affair) and with `use_vertex_termination` (the finalized
+  /// count is defined against one source's reachable set).  Results come
+  /// back in AcicRunResult::lane_dist.
+  std::vector<graph::VertexId> sources;
 };
 
 /// One ACIC SSSP query attached to a Machine.  Engines are per-query

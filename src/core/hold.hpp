@@ -16,14 +16,18 @@
 
 namespace acic::core {
 
-class BucketedHold {
+/// Templated on the held record so engines that carry extra per-update
+/// state (the batched multi-source engine's lane tag rides inside its
+/// 16-byte UpdateMsg) can hold it without re-deriving it on release.
+template <class UpdateT = sssp::Update>
+class BucketedHoldT {
  public:
-  explicit BucketedHold(std::size_t num_buckets)
+  explicit BucketedHoldT(std::size_t num_buckets)
       : buckets_(num_buckets) {}
 
-  void put(std::size_t bucket, const sssp::Update& update) {
+  void put(std::size_t bucket, const UpdateT& update) {
     ACIC_HOT_ASSERT(bucket < buckets_.size());
-    std::vector<sssp::Update>& list = buckets_[bucket];
+    std::vector<UpdateT>& list = buckets_[bucket];
     // Holds fill in bursts between broadcasts; a modest first-touch
     // reservation skips the doubling cascade (capacity survives the
     // clear() in release_up_to, so this runs once per bucket).
@@ -35,7 +39,7 @@ class BucketedHold {
   /// Moves every held update in buckets [0, threshold] into `out`, lowest
   /// bucket first (and FIFO within a bucket).
   void release_up_to(std::size_t threshold,
-                     std::vector<sssp::Update>* out) {
+                     std::vector<UpdateT>* out) {
     const std::size_t last = std::min(threshold, buckets_.size() - 1);
     for (std::size_t b = 0; b <= last; ++b) {
       if (buckets_[b].empty()) continue;
@@ -54,8 +58,11 @@ class BucketedHold {
   }
 
  private:
-  std::vector<std::vector<sssp::Update>> buckets_;
+  std::vector<std::vector<UpdateT>> buckets_;
   std::size_t size_ = 0;
 };
+
+/// The common single-source shape: holds plain wire updates.
+using BucketedHold = BucketedHoldT<sssp::Update>;
 
 }  // namespace acic::core

@@ -12,6 +12,12 @@
 // Capacity is counted in entries because every entry has the same size
 // (|V| distances); eviction is strict least-recently-used.
 //
+// Point-to-point queries deliberately share this key: the cache stays
+// keyed by source alone, because a full vector for s answers *every*
+// (s, t) with a single dist[t] read.  Keying by (s, t) pairs would
+// fragment capacity across targets and never let a full-SSSP result
+// serve a later p2p query (or vice versa).
+//
 // Dynamic graphs add *invalidation*: when a mutation epoch applies, the
 // service tests every entry against the epoch's edge deltas (exact
 // per-edge staleness tests — see QueryService::invalidate_cache) and

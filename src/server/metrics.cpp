@@ -13,12 +13,14 @@ void ServiceMetrics::sample_queue(runtime::SimTime time_us,
   samples_.push_back(QueueDepthSample{time_us, waiting, running});
 }
 
-ServiceSummary ServiceMetrics::summarize(const CacheStats& cache) const {
+ServiceSummary ServiceMetrics::summarize(const CacheStats& cache,
+                                         std::uint64_t batches_started) const {
   ServiceSummary s;
   s.completed = records_.size();
   s.cache_hit_rate = cache.hit_rate();
   s.cache_invalidations = cache.invalidations;
   s.stale_hits_prevented = cache.stale_hits_prevented;
+  s.batches_started = batches_started;
   if (records_.empty()) return s;
 
   std::vector<double> latencies;
@@ -32,8 +34,15 @@ ServiceSummary ServiceMetrics::summarize(const CacheStats& cache) const {
     waits.push_back(r.queue_wait_us());
     first_arrival = std::min(first_arrival, r.arrival_us);
     last_completion = std::max(last_completion, r.complete_us);
-    if (r.cache_hit) ++s.cache_hits;
+    if (r.cache_hit()) ++s.cache_hits;
     if (r.repaired) ++s.repaired_queries;
+    if (r.mode == ResultMode::kPointToPoint) ++s.p2p_queries;
+    switch (r.tier) {
+      case ServeTier::kBatch: ++s.batched_queries; break;
+      case ServeTier::kLandmark: ++s.landmark_exact; break;
+      case ServeTier::kGoalDirected: ++s.goal_directed; break;
+      default: break;
+    }
   }
   s.p50_latency_us = util::percentile(latencies, 50.0);
   s.p95_latency_us = util::percentile(latencies, 95.0);
@@ -73,6 +82,19 @@ std::string format_summary(const ServiceSummary& s) {
       "  cache: %llu queries served from cache; lookup hit rate %.1f%%\n",
       static_cast<unsigned long long>(s.cache_hits),
       100.0 * s.cache_hit_rate);
+  if (s.batches_started > 0) {
+    out += util::strformat(
+        "  batching: %llu queries coalesced into %llu multi-source passes\n",
+        static_cast<unsigned long long>(s.batched_queries),
+        static_cast<unsigned long long>(s.batches_started));
+  }
+  if (s.p2p_queries > 0) {
+    out += util::strformat(
+        "  p2p: %llu queries; %llu landmark-exact, %llu goal-directed\n",
+        static_cast<unsigned long long>(s.p2p_queries),
+        static_cast<unsigned long long>(s.landmark_exact),
+        static_cast<unsigned long long>(s.goal_directed));
+  }
   if (s.cache_invalidations > 0 || s.repaired_queries > 0) {
     out += util::strformat(
         "  churn: %llu invalidations, %llu stale hits prevented, "

@@ -15,17 +15,33 @@
 #include "src/graph/types.hpp"
 #include "src/runtime/network.hpp"
 #include "src/server/cache.hpp"
+#include "src/server/workload.hpp"
 
 namespace acic::server {
+
+/// Which serving tier produced a query's answer.  Every tier returns
+/// distances exactly equal to a dedicated full engine pass — the tiers
+/// trade *work*, never accuracy (bench/server_load verifies).
+enum class ServeTier : std::uint8_t {
+  kEngine = 0,       // dedicated (solo) engine pass, cold or warm
+  kBatch,            // one lane of a batched multi-source engine pass
+  kCache,            // full distance vector found in the result cache
+  kLandmark,         // tier-1 exact landmark / structural answer (p2p)
+  kGoalDirected,     // front-end goal-directed A* search (p2p)
+  kRepairFree,       // parked stale state proven untouched by churn
+};
 
 /// Lifecycle timestamps of one query (all in simulated microseconds).
 struct QueryRecord {
   std::uint64_t id = 0;
   graph::VertexId source = 0;
+  /// kInvalidVertex unless the query was point-to-point.
+  graph::VertexId target = graph::kInvalidVertex;
+  ResultMode mode = ResultMode::kFullDistances;
   runtime::SimTime arrival_us = 0.0;   // offered (workload) arrival time
   runtime::SimTime admit_us = 0.0;     // left the wait queue / cache hit
-  runtime::SimTime complete_us = 0.0;  // distances available
-  bool cache_hit = false;
+  runtime::SimTime complete_us = 0.0;  // result available
+  ServeTier tier = ServeTier::kEngine;
   /// Graph epoch the answer is exact for (dynamic serving; the epoch
   /// current at admission — bounded staleness under churn).
   std::uint64_t epoch = 0;
@@ -33,6 +49,7 @@ struct QueryRecord {
   /// instead of a cold engine (dynamic serving).
   bool repaired = false;
 
+  bool cache_hit() const { return tier == ServeTier::kCache; }
   runtime::SimTime latency_us() const { return complete_us - arrival_us; }
   runtime::SimTime queue_wait_us() const { return admit_us - arrival_us; }
   runtime::SimTime service_us() const { return complete_us - admit_us; }
@@ -66,6 +83,13 @@ struct ServiceSummary {
   std::uint32_t max_concurrent = 0;    // running engines
   runtime::SimTime makespan_us = 0.0;  // first arrival -> last completion
 
+  // Serving tiers (see ServeTier; engine = completed - all of these).
+  std::uint64_t batched_queries = 0;     // served as a lane of a batch
+  std::uint64_t batches_started = 0;     // multi-source engine passes
+  std::uint64_t p2p_queries = 0;         // point-to-point mode
+  std::uint64_t landmark_exact = 0;      // tier-1 landmark answers
+  std::uint64_t goal_directed = 0;       // front-end A* answers
+
   // Dynamic serving (all zero on a static graph).
   std::uint64_t repaired_queries = 0;   // warm-repair admissions
   std::uint64_t cache_invalidations = 0;
@@ -84,7 +108,10 @@ class ServiceMetrics {
     return samples_;
   }
 
-  ServiceSummary summarize(const CacheStats& cache) const;
+  /// `batches_started` is service state the per-query records cannot
+  /// express (one multi-source pass covers several records).
+  ServiceSummary summarize(const CacheStats& cache,
+                           std::uint64_t batches_started = 0) const;
 
  private:
   std::vector<QueryRecord> records_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/dynamic/repair.hpp"
+#include "src/graph/edge_list.hpp"
 #include "src/util/assert.hpp"
 
 namespace acic::server {
@@ -31,29 +32,58 @@ bool entry_stale(const std::vector<graph::Dist>& d,
   return false;
 }
 
+/// Static-constructor wrapper: copies the Csr into a single-epoch
+/// DynamicGraph so the service has exactly one serving code path.  The
+/// EdgeList round-trip normalizes to the simple-graph contract (self
+/// loops dropped, duplicate (src, dst) collapsed to the lightest) —
+/// distance-preserving, so every answer matches the original graph.
+std::unique_ptr<dynamic::DynamicGraph> wrap_static(const graph::Csr& csr) {
+  graph::EdgeList list(csr.num_vertices(), {});
+  list.reserve(csr.num_edges());
+  for (graph::VertexId v = 0; v < csr.num_vertices(); ++v) {
+    for (const graph::Neighbor& nb : csr.out_neighbors(v)) {
+      list.add(v, nb.dst, nb.weight);
+    }
+  }
+  return std::make_unique<dynamic::DynamicGraph>(std::move(list));
+}
+
 }  // namespace
 
 QueryService::QueryService(runtime::Machine& machine, const graph::Csr& csr,
                            const graph::Partition1D& partition,
                            ServiceConfig config)
-    : machine_(machine),
-      csr_(&csr),
-      partition_(partition),
-      config_(std::move(config)),
-      cache_(config_.cache_capacity) {
-  define_counters();
-}
+    : QueryService(machine, wrap_static(csr), nullptr, partition,
+                   std::move(config)) {}
 
 QueryService::QueryService(runtime::Machine& machine,
                            dynamic::DynamicGraph& graph,
                            const graph::Partition1D& partition,
                            ServiceConfig config)
+    : QueryService(machine, nullptr, &graph, partition, std::move(config)) {}
+
+QueryService::QueryService(runtime::Machine& machine,
+                           std::unique_ptr<dynamic::DynamicGraph> owned,
+                           dynamic::DynamicGraph* external,
+                           const graph::Partition1D& partition,
+                           ServiceConfig config)
     : machine_(machine),
-      dynamic_(&graph),
+      owned_graph_(std::move(owned)),
+      dynamic_(owned_graph_ != nullptr ? owned_graph_.get() : external),
       partition_(partition),
       config_(std::move(config)),
       cache_(config_.cache_capacity) {
+  ACIC_ASSERT(dynamic_ != nullptr);
   define_counters();
+  if (config_.landmarks.num_landmarks > 0) {
+    // Offline precompute (2k Dijkstra rows); deliberately not charged to
+    // simulated time — index construction happens before serving starts.
+    const auto snap = dynamic_->snapshot_ptr();
+    sssp::LandmarkConfig lc;
+    lc.num_landmarks = config_.landmarks.num_landmarks;
+    landmarks_index_ = std::make_unique<sssp::LandmarkIndex>(
+        snap->csr, snap->reverse, lc);
+  }
 }
 
 void QueryService::define_counters() {
@@ -61,6 +91,8 @@ void QueryService::define_counters() {
                   "partition parts must equal worker PE count");
   ACIC_ASSERT_MSG(config_.max_inflight > 0,
                   "admission controller needs max_inflight >= 1");
+  ACIC_ASSERT_MSG(config_.batching.max_batch > 0,
+                  "batch size 0 would admit nothing");
   ACIC_ASSERT(config_.frontend_pe < machine_.num_pes());
 
   if (config_.registry != nullptr) {
@@ -70,7 +102,17 @@ void QueryService::define_counters() {
     obs_cache_hits_ = reg.counter("server/cache_hits");
     obs_wait_depth_ = reg.series("server/wait_queue_depth");
     obs_running_ = reg.series("server/running_engines");
-    if (dynamic_ != nullptr) {
+    if (config_.batching.max_batch > 1) {
+      obs_batches_ = reg.counter("server/batches_started");
+      obs_batched_queries_ = reg.counter("server/batched_queries");
+    }
+    if (config_.landmarks.num_landmarks > 0) {
+      obs_landmark_exact_ = reg.counter("server/landmark_exact");
+      obs_goal_directed_ = reg.counter("server/goal_directed");
+      obs_rows_invalidated_ = reg.counter("landmarks/rows_invalidated", true);
+      obs_rows_refreshed_ = reg.counter("landmarks/rows_refreshed", true);
+    }
+    if (owned_graph_ == nullptr) {
       // Timed so the churn counters render as tracks in the timeseries
       // CSV / Chrome trace that bench/server_load exports.
       obs_mutations_ = reg.counter("server/mutations_applied", true);
@@ -94,22 +136,36 @@ void QueryService::define_counters() {
 
 QueryService::~QueryService() = default;
 
-void QueryService::submit(const std::vector<QueryArrival>& arrivals) {
-  for (const QueryArrival& arrival : arrivals) {
-    ACIC_ASSERT_MSG(arrival.source < graph_view().num_vertices(),
+void QueryService::submit(const std::vector<Query>& queries) {
+  for (const Query& query : queries) {
+    ACIC_ASSERT_MSG(query.source < graph_view().num_vertices(),
                     "query source outside the graph");
+    ACIC_ASSERT_MSG(!query.is_p2p() ||
+                        query.target < graph_view().num_vertices(),
+                    "p2p target outside the graph");
+    ACIC_ASSERT_MSG(submitted_ == 0 ||
+                        query.arrival_us >= last_submitted_arrival_us_,
+                    "arrival times must be non-decreasing across "
+                    "concatenated submissions (see WorkloadConfig::"
+                    "first_id / start_us)");
+    last_submitted_arrival_us_ = query.arrival_us;
     QueryRecord record;
-    record.id = arrival.id;
-    record.source = arrival.source;
-    record.arrival_us = arrival.arrival_us;
+    record.id = query.id;
+    record.source = query.source;
+    record.target = query.target;
+    record.mode = query.mode;
+    record.arrival_us = query.arrival_us;
     const std::size_t index = pending_records_.size();
+    ACIC_ASSERT_MSG(record_of_id_.emplace(query.id, index).second,
+                    "query ids must be unique across all submissions "
+                    "(see WorkloadConfig::first_id)");
     pending_records_.push_back(record);
     ++submitted_;
     if (config_.registry != nullptr) {
       config_.registry->add(obs_submitted_, config_.frontend_pe, 1,
                             machine_.current_time());
     }
-    machine_.schedule_at(arrival.arrival_us, config_.frontend_pe,
+    machine_.schedule_at(query.arrival_us, config_.frontend_pe,
                          [this, index](runtime::Pe& pe) {
                            on_arrival(pe, index);
                          });
@@ -117,7 +173,7 @@ void QueryService::submit(const std::vector<QueryArrival>& arrivals) {
 }
 
 void QueryService::submit_mutations(const std::vector<MutationEvent>& events) {
-  ACIC_ASSERT_MSG(dynamic_ != nullptr,
+  ACIC_ASSERT_MSG(owned_graph_ == nullptr,
                   "submit_mutations requires the DynamicGraph constructor");
   for (const MutationEvent& event : events) {
     machine_.schedule_at(event.apply_us, config_.frontend_pe,
@@ -133,7 +189,7 @@ void QueryService::apply_mutations(runtime::Pe& pe,
   const auto before = dynamic_->snapshot_ptr();
   const dynamic::ApplyStats stats = dynamic_->apply(batch);
   mutations_applied_ += stats.applied();
-  pe.charge(config_.mutation_apply_cost_us *
+  pe.charge(config_.dynamics.mutation_apply_cost_us *
             static_cast<double>(stats.applied()));
   if (config_.registry != nullptr && stats.applied() > 0) {
     config_.registry->add(obs_mutations_, pe.id(), stats.applied(),
@@ -173,22 +229,92 @@ void QueryService::apply_mutations(runtime::Pe& pe,
     }
     park_stale_state(source, std::move(state));
   }
+
+  // Landmark rows are distance vectors too: the same per-edge tests
+  // decide which survive the epoch.  Invalid rows stop contributing
+  // (exactness preserved, guidance weakens) until refreshed.
+  if (landmarks_index_ != nullptr) {
+    const std::size_t newly = landmarks_index_->invalidate(deltas);
+    if (config_.registry != nullptr && newly > 0) {
+      config_.registry->add(obs_rows_invalidated_, pe.id(),
+                            static_cast<std::uint64_t>(newly), pe.now());
+    }
+    if (landmarks_index_->invalid_rows() > 0 &&
+        landmarks_index_->invalid_fraction() >=
+            config_.landmarks.refresh_fraction) {
+      const auto snap = dynamic_->snapshot_ptr();
+      const std::size_t refreshed =
+          landmarks_index_->refresh(snap->csr, snap->reverse);
+      pe.charge(config_.landmarks.refresh_cost_us *
+                static_cast<double>(refreshed));
+      if (config_.registry != nullptr && refreshed > 0) {
+        config_.registry->add(obs_rows_refreshed_, pe.id(),
+                              static_cast<std::uint64_t>(refreshed),
+                              pe.now());
+      }
+    }
+  }
 }
 
 void QueryService::park_stale_state(graph::VertexId source,
                                     StaleState state) {
-  if (config_.max_stale_states == 0) return;
+  if (config_.dynamics.max_stale_states == 0) return;
   const auto it = stale_states_.find(source);
   if (it != stale_states_.end()) {
     it->second = std::move(state);  // newer epoch supersedes
     return;
   }
-  if (stale_states_.size() >= config_.max_stale_states) {
+  if (stale_states_.size() >= config_.dynamics.max_stale_states) {
     stale_states_.erase(stale_order_.front());
     stale_order_.erase(stale_order_.begin());
   }
   stale_states_.emplace(source, std::move(state));
   stale_order_.push_back(source);
+}
+
+void QueryService::serve_from_cache(runtime::Pe& pe,
+                                    std::size_t record_index) {
+  QueryRecord& record = pending_records_[record_index];
+  record.admit_us = pe.now();
+  record.epoch = dynamic_->epoch();
+  // A hit is only ever declared with the entry present.
+  const std::vector<graph::Dist>* dist = cache_.peek(record.source);
+  complete_record(pe, record_index, ServeTier::kCache, dist);
+}
+
+bool QueryService::serve_p2p_frontend(runtime::Pe& pe,
+                                      std::size_t record_index) {
+  if (landmarks_index_ == nullptr) return false;
+  QueryRecord& record = pending_records_[record_index];
+  pe.charge(config_.landmarks.lookup_cost_us);
+
+  graph::Dist exact = 0.0;
+  if (landmarks_index_->exact_p2p(record.source, record.target, &exact)) {
+    record.admit_us = pe.now();
+    record.epoch = dynamic_->epoch();
+    results_[record.id] =
+        QueryResult{ResultMode::kPointToPoint, {}, exact};
+    complete_record(pe, record_index, ServeTier::kLandmark, nullptr);
+    return true;
+  }
+  if (!config_.landmarks.goal_directed) return false;
+
+  // Goal-directed A* on the front end, against the *current* snapshot
+  // (the heuristic's surviving rows are exact for it — see the sweep in
+  // apply_mutations).  Charged per settled vertex: goal direction is
+  // cheap near the target and expensive across the graph, and the
+  // latency distribution should see exactly that.
+  const auto snap = dynamic_->snapshot_ptr();
+  sssp::P2pStats stats;
+  const graph::Dist d = landmarks_index_->p2p(
+      snap->csr, record.source, record.target, &p2p_workspace_, &stats);
+  pe.charge(config_.landmarks.astar_settle_cost_us *
+            static_cast<double>(stats.settled));
+  record.admit_us = pe.now();
+  record.epoch = snap->epoch;
+  results_[record.id] = QueryResult{ResultMode::kPointToPoint, {}, d};
+  complete_record(pe, record_index, ServeTier::kGoalDirected, nullptr);
+  return true;
 }
 
 void QueryService::on_arrival(runtime::Pe& pe, std::size_t record_index) {
@@ -198,15 +324,18 @@ void QueryService::on_arrival(runtime::Pe& pe, std::size_t record_index) {
   pe.charge(config_.cache_lookup_cost_us);
   const std::uint64_t prevented_before = cache_.stats().stale_hits_prevented;
   if (cache_.lookup(record.source) != nullptr) {
-    record.admit_us = pe.now();
-    record.epoch = dynamic_ != nullptr ? dynamic_->epoch() : 0;
-    complete_record(pe, record_index, /*cache_hit=*/true);
+    serve_from_cache(pe, record_index);
     sample_queue(pe.now());
     return;
   }
-  if (config_.registry != nullptr && dynamic_ != nullptr &&
+  if (config_.registry != nullptr && owned_graph_ == nullptr &&
       cache_.stats().stale_hits_prevented > prevented_before) {
     config_.registry->add(obs_stale_prevented_, pe.id(), 1, pe.now());
+  }
+  if (record.mode == ResultMode::kPointToPoint &&
+      serve_p2p_frontend(pe, record_index)) {
+    sample_queue(pe.now());
+    return;
   }
   wait_queue_.push_back(
       Pending{record.id, record.source, record_index});
@@ -216,19 +345,38 @@ void QueryService::on_arrival(runtime::Pe& pe, std::size_t record_index) {
 
 void QueryService::try_admit(runtime::Pe& pe) {
   while (running_.size() < config_.max_inflight && !wait_queue_.empty()) {
-    const Pending pending = wait_queue_.front();
-    wait_queue_.erase(wait_queue_.begin());
-    // The result may have been cached while this query waited (a hot
-    // source admitted ahead of it completed): serve it engine-free.
-    // peek() keeps the hit/miss accounting at one lookup per query.
-    if (cache_.peek(pending.source) != nullptr) {
-      QueryRecord& record = pending_records_[pending.record_index];
-      record.admit_us = pe.now();
-      record.epoch = dynamic_ != nullptr ? dynamic_->epoch() : 0;
-      complete_record(pe, pending.record_index, /*cache_hit=*/true);
-      continue;
+    // Gather a FIFO prefix into one admission.  Three query classes
+    // leave the queue here without consuming batch slots or break the
+    // gather early:
+    //   * results cached while waiting (a hot source admitted ahead
+    //     completed) are served engine-free — peek() keeps the hit/miss
+    //     accounting at one lookup per query;
+    //   * a query whose source has a parked stale state runs *solo*
+    //     (the warm-repair path seeds one engine from the old answer;
+    //     mixing warm and cold lanes in one pass is not supported), so
+    //     it either heads this admission alone or ends the gather;
+    //   * everything else joins the batch, up to batching.max_batch.
+    std::vector<Pending> members;
+    while (!wait_queue_.empty() &&
+           members.size() < config_.batching.max_batch) {
+      const Pending pending = wait_queue_.front();
+      if (cache_.peek(pending.source) != nullptr) {
+        wait_queue_.erase(wait_queue_.begin());
+        serve_from_cache(pe, pending.record_index);
+        continue;
+      }
+      const bool warm = stale_states_.count(pending.source) > 0;
+      if (warm && !members.empty()) break;  // heads the next admission
+      wait_queue_.erase(wait_queue_.begin());
+      members.push_back(pending);
+      if (warm) break;  // runs solo
     }
-    start_engine(pe, pending);
+    if (members.empty()) break;
+    if (members.size() == 1) {
+      start_engine(pe, members.front());
+    } else {
+      start_batch(pe, members);
+    }
   }
 }
 
@@ -244,19 +392,13 @@ bool QueryService::start_engine(runtime::Pe& pe, const Pending& pending) {
   };
 
   InFlight inflight;
-  inflight.id = id;
-  inflight.record_index = pending.record_index;
+  inflight.key = id;
+  inflight.members.push_back(
+      BatchMember{id, pending.record_index, /*lane=*/0});
+  inflight.lane_sources.push_back(pending.source);
 
-  if (dynamic_ == nullptr) {
-    inflight.engine = std::make_unique<core::AcicEngine>(
-        machine_, *csr_, partition_, pending.source, config_.engine,
-        std::move(options));
-    running_.push_back(std::move(inflight));
-    return true;
-  }
-
-  // Dynamic serving: pin the current snapshot for the engine's lifetime
-  // — the answer is exact for this epoch no matter how the graph moves.
+  // Pin the current snapshot for the engine's lifetime — the answer is
+  // exact for this epoch no matter how the graph moves.
   inflight.snap = dynamic_->snapshot_ptr();
   record.epoch = inflight.snap->epoch;
 
@@ -266,7 +408,7 @@ bool QueryService::start_engine(runtime::Pe& pe, const Pending& pending) {
     stale_states_.erase(stale_it);
     stale_order_.erase(std::find(stale_order_.begin(), stale_order_.end(),
                                  pending.source));
-    pe.charge(config_.repair_plan_cost_us);
+    pe.charge(config_.dynamics.repair_plan_cost_us);
 
     dynamic::SsspState state;
     state.source = pending.source;
@@ -290,19 +432,17 @@ bool QueryService::start_engine(runtime::Pe& pe, const Pending& pending) {
       if (config_.registry != nullptr) {
         config_.registry->add(obs_repair_queries_, pe.id(), 1, pe.now());
       }
-      if (config_.keep_distances) {
-        results_[id] = state.dist;
-      }
+      complete_record(pe, pending.record_index, ServeTier::kRepairFree,
+                      &state.dist);
       cache_.insert(pending.source, std::move(state.dist),
                     inflight.snap->epoch);
-      complete_record(pe, pending.record_index, /*cache_hit=*/false);
       return false;
     }
 
     const double affected_fraction =
         static_cast<double>(plan.affected.size()) /
         static_cast<double>(graph_view().num_vertices());
-    if (affected_fraction <= config_.recompute_fraction) {
+    if (affected_fraction <= config_.dynamics.recompute_fraction) {
       record.repaired = true;
       options.warm_dist = &plan.warm_dist;  // copied by the constructor
       options.seeds = plan.seeds;
@@ -318,7 +458,7 @@ bool QueryService::start_engine(runtime::Pe& pe, const Pending& pending) {
     // Repair would touch most of the graph: fall through to a cold run.
   }
 
-  if (config_.registry != nullptr) {
+  if (config_.registry != nullptr && owned_graph_ == nullptr) {
     config_.registry->add(obs_recompute_queries_, pe.id(), 1, pe.now());
   }
   inflight.engine = std::make_unique<core::AcicEngine>(
@@ -328,29 +468,88 @@ bool QueryService::start_engine(runtime::Pe& pe, const Pending& pending) {
   return true;
 }
 
-void QueryService::on_engine_complete(runtime::Pe& pe, std::uint64_t id) {
+void QueryService::start_batch(runtime::Pe& pe,
+                               const std::vector<Pending>& members) {
+  InFlight inflight;
+  inflight.key = members.front().id;
+  inflight.snap = dynamic_->snapshot_ptr();
+
+  // Distinct sources become frontier lanes; duplicate sources share.
+  for (const Pending& pending : members) {
+    QueryRecord& record = pending_records_[pending.record_index];
+    record.admit_us = pe.now();
+    record.epoch = inflight.snap->epoch;
+    std::uint32_t lane = 0;
+    const auto it = std::find(inflight.lane_sources.begin(),
+                              inflight.lane_sources.end(), pending.source);
+    if (it == inflight.lane_sources.end()) {
+      lane = static_cast<std::uint32_t>(inflight.lane_sources.size());
+      inflight.lane_sources.push_back(pending.source);
+    } else {
+      lane = static_cast<std::uint32_t>(it - inflight.lane_sources.begin());
+    }
+    inflight.members.push_back(
+        BatchMember{pending.id, pending.record_index, lane});
+  }
+
+  core::AcicEngineOptions options;
+  options.start_time_us = pe.now();
+  options.sources = inflight.lane_sources;
+  const std::uint64_t key = inflight.key;
+  options.on_complete = [this, key](runtime::Pe& done_pe) {
+    on_engine_complete(done_pe, key);
+  };
+
+  ++batches_started_;
+  if (config_.registry != nullptr) {
+    config_.registry->add(obs_batches_, pe.id(), 1, pe.now());
+    config_.registry->add(obs_batched_queries_, pe.id(),
+                          inflight.members.size(), pe.now());
+  }
+  inflight.engine = std::make_unique<core::AcicEngine>(
+      machine_, inflight.snap->csr, partition_, inflight.lane_sources[0],
+      config_.engine, std::move(options));
+  running_.push_back(std::move(inflight));
+}
+
+void QueryService::on_engine_complete(runtime::Pe& pe, std::uint64_t key) {
   const runtime::ScopedSpan span(config_.tracer, pe, "server/complete");
   const auto it =
       std::find_if(running_.begin(), running_.end(),
-                   [id](const InFlight& f) { return f.id == id; });
+                   [key](const InFlight& f) { return f.key == key; });
   ACIC_ASSERT_MSG(it != running_.end(),
-                  "completion for a query that is not running");
+                  "completion for a pass that is not running");
 
   core::AcicRunResult result = it->engine->collect();
-  const std::size_t record_index = it->record_index;
-  if (config_.keep_distances) {
-    results_[id] = result.sssp.dist;
-  }
-  if (dynamic_ == nullptr || it->snap->epoch == dynamic_->epoch()) {
-    cache_.insert(pending_records_[record_index].source,
-                  std::move(result.sssp.dist),
-                  dynamic_ != nullptr ? it->snap->epoch : 0);
+  const bool batch = it->members.size() > 1;
+  const bool epoch_current = it->snap->epoch == dynamic_->epoch();
+  const ServeTier tier = batch ? ServeTier::kBatch : ServeTier::kEngine;
+
+  // Per-lane distance vectors: a solo pass carries its single vector in
+  // sssp.dist, a multi-source pass one per lane in lane_dist.
+  std::vector<std::vector<graph::Dist>> lanes;
+  if (batch) {
+    ACIC_ASSERT(result.lane_dist.size() == it->lane_sources.size());
+    lanes = std::move(result.lane_dist);
   } else {
-    // The graph moved on mid-run: the answer is exact for its own epoch
-    // (served as such) but caching it would poison current-epoch hits.
-    ++stale_results_dropped_;
-    if (config_.registry != nullptr) {
-      config_.registry->add(obs_stale_dropped_, pe.id(), 1, pe.now());
+    lanes.push_back(std::move(result.sssp.dist));
+  }
+
+  for (const BatchMember& member : it->members) {
+    complete_record(pe, member.record_index, tier, &lanes[member.lane]);
+  }
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    if (epoch_current) {
+      cache_.insert(it->lane_sources[lane], std::move(lanes[lane]),
+                    it->snap->epoch);
+    } else {
+      // The graph moved on mid-run: the answers are exact for their own
+      // epoch (served as such) but caching them would poison
+      // current-epoch hits.
+      ++stale_results_dropped_;
+      if (config_.registry != nullptr) {
+        config_.registry->add(obs_stale_dropped_, pe.id(), 1, pe.now());
+      }
     }
   }
 
@@ -360,26 +559,42 @@ void QueryService::on_engine_complete(runtime::Pe& pe, std::uint64_t id) {
   running_.erase(it);
   schedule_retirement_sweep(pe);
 
-  complete_record(pe, record_index, /*cache_hit=*/false);
   try_admit(pe);
   sample_queue(pe.now());
 }
 
 void QueryService::complete_record(runtime::Pe& pe,
                                    std::size_t record_index,
-                                   bool cache_hit) {
+                                   ServeTier tier,
+                                   const std::vector<graph::Dist>* dist) {
   QueryRecord& record = pending_records_[record_index];
   record.complete_us = pe.now();
-  record.cache_hit = cache_hit;
-  if (config_.registry != nullptr) {
-    config_.registry->add(obs_completed_, pe.id(), 1, pe.now());
-    if (cache_hit) {
-      config_.registry->add(obs_cache_hits_, pe.id(), 1, pe.now());
+  record.tier = tier;
+  if (dist != nullptr) {
+    if (record.mode == ResultMode::kPointToPoint) {
+      results_[record.id] = QueryResult{ResultMode::kPointToPoint,
+                                        {},
+                                        (*dist)[record.target]};
+    } else if (config_.retain_full_results) {
+      results_[record.id] =
+          QueryResult{ResultMode::kFullDistances, *dist, graph::kInfDist};
     }
   }
-  if (config_.keep_distances && cache_hit) {
-    // A hit is only ever declared with the entry present.
-    results_[record.id] = *cache_.peek(record.source);
+  if (config_.registry != nullptr) {
+    config_.registry->add(obs_completed_, pe.id(), 1, pe.now());
+    switch (tier) {
+      case ServeTier::kCache:
+        config_.registry->add(obs_cache_hits_, pe.id(), 1, pe.now());
+        break;
+      case ServeTier::kLandmark:
+        config_.registry->add(obs_landmark_exact_, pe.id(), 1, pe.now());
+        break;
+      case ServeTier::kGoalDirected:
+        config_.registry->add(obs_goal_directed_, pe.id(), 1, pe.now());
+        break;
+      default:
+        break;
+    }
   }
   metrics_.record(record);
 }
@@ -429,13 +644,17 @@ const std::vector<QueueDepthSample>& QueryService::queue_samples() const {
 }
 
 ServiceSummary QueryService::summary() const {
-  return metrics_.summarize(cache_.stats());
+  return metrics_.summarize(cache_.stats(), batches_started_);
 }
 
-const std::vector<graph::Dist>* QueryService::distances_for(
-    std::uint64_t id) const {
+const QueryResult* QueryService::result_of(std::uint64_t id) const {
   const auto it = results_.find(id);
   return it != results_.end() ? &it->second : nullptr;
+}
+
+const QueryRecord* QueryService::record_of(std::uint64_t id) const {
+  const auto it = record_of_id_.find(id);
+  return it != record_of_id_.end() ? &pending_records_[it->second] : nullptr;
 }
 
 }  // namespace acic::server

@@ -40,21 +40,28 @@ std::vector<double> zipf_cdf(std::size_t n, double s) {
 
 }  // namespace
 
-std::vector<QueryArrival> generate_workload(const WorkloadConfig& config,
-                                            graph::VertexId num_vertices) {
+std::vector<Query> generate_workload(const WorkloadConfig& config,
+                                     graph::VertexId num_vertices) {
   ACIC_ASSERT_MSG(num_vertices > 0, "workload needs a non-empty graph");
   ACIC_ASSERT_MSG(config.qps > 0.0, "workload qps must be positive");
   ACIC_ASSERT_MSG(config.zipf_exponent >= 0.0,
                   "zipf exponent must be non-negative");
+  ACIC_ASSERT_MSG(config.p2p_fraction >= 0.0 && config.p2p_fraction <= 1.0,
+                  "p2p fraction must be a probability");
 
   const std::uint32_t universe_size = std::max<std::uint32_t>(
       1, std::min<std::uint32_t>(config.source_universe, num_vertices));
 
   // Independent streams so e.g. widening the universe does not perturb
-  // the arrival-time sequence.
+  // the arrival-time sequence, and — crucially for the seeded
+  // regression baselines — p2p_fraction = 0 leaves the historical
+  // (arrival, source) sequence untouched: the coin and target streams
+  // are drawn from their own generators.
   util::Xoshiro256 universe_rng(util::derive_seed(config.seed, 0));
   util::Xoshiro256 arrival_rng(util::derive_seed(config.seed, 1));
   util::Xoshiro256 source_rng(util::derive_seed(config.seed, 2));
+  util::Xoshiro256 p2p_coin_rng(util::derive_seed(config.seed, 3));
+  util::Xoshiro256 target_rng(util::derive_seed(config.seed, 4));
 
   const std::vector<graph::VertexId> universe =
       sample_universe(num_vertices, universe_size, universe_rng);
@@ -62,20 +69,33 @@ std::vector<QueryArrival> generate_workload(const WorkloadConfig& config,
       zipf_cdf(universe.size(), config.zipf_exponent);
   const double total = cdf.back();
 
-  // Exponential inter-arrival gaps: -ln(1-u)/lambda, lambda in 1/us.
-  const double lambda_per_us = config.qps * 1e-6;
-
-  std::vector<QueryArrival> stream;
-  stream.reserve(config.num_queries);
-  runtime::SimTime t = config.start_us;
-  for (std::uint64_t q = 0; q < config.num_queries; ++q) {
-    t += -std::log(1.0 - arrival_rng.next_double()) / lambda_per_us;
-    const double u = source_rng.next_double() * total;
+  const auto zipf_pick = [&](util::Xoshiro256& rng) {
+    const double u = rng.next_double() * total;
     const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
     const std::size_t rank = static_cast<std::size_t>(
         std::min<std::ptrdiff_t>(it - cdf.begin(),
                                  static_cast<std::ptrdiff_t>(cdf.size()) - 1));
-    stream.push_back(QueryArrival{q, t, universe[rank]});
+    return universe[rank];
+  };
+
+  // Exponential inter-arrival gaps: -ln(1-u)/lambda, lambda in 1/us.
+  const double lambda_per_us = config.qps * 1e-6;
+
+  std::vector<Query> stream;
+  stream.reserve(config.num_queries);
+  runtime::SimTime t = config.start_us;
+  for (std::uint64_t q = 0; q < config.num_queries; ++q) {
+    t += -std::log(1.0 - arrival_rng.next_double()) / lambda_per_us;
+    const graph::VertexId source = zipf_pick(source_rng);
+    const std::uint64_t id = config.first_id + q;
+    if (p2p_coin_rng.next_double() < config.p2p_fraction) {
+      // Target correlated with the same popularity skew (popular places
+      // are popular destinations too); target == source is legitimate
+      // and served by the trivial d(s, s) = 0 tier.
+      stream.push_back(Query::p2p(id, t, source, zipf_pick(target_rng)));
+    } else {
+      stream.push_back(Query::full(id, t, source));
+    }
   }
   return stream;
 }

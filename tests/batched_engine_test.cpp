@@ -1,0 +1,129 @@
+// Batched multi-source engine runs (AcicEngineOptions::sources): every
+// lane's distance vector must be *exactly* the vector a solo
+// single-source run produces — batching trades scheduling, never
+// accuracy.  Named BatchedEngine* so the TSan CI job's filter picks
+// these up alongside the other parallel-engine suites.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/baselines/sequential.hpp"
+#include "src/core/acic.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/partition.hpp"
+#include "src/runtime/machine.hpp"
+
+namespace {
+
+using acic::core::AcicConfig;
+using acic::core::AcicEngine;
+using acic::core::AcicEngineOptions;
+using acic::graph::Csr;
+using acic::graph::Dist;
+using acic::graph::Partition1D;
+using acic::graph::VertexId;
+using acic::runtime::Machine;
+using acic::runtime::Topology;
+
+Csr test_graph(std::uint32_t scale, std::uint64_t seed) {
+  acic::graph::GenParams params;
+  params.num_vertices = VertexId{1} << scale;
+  params.num_edges = params.num_vertices * 8ull;
+  params.seed = seed;
+  return Csr::from_edge_list(acic::graph::generate_uniform_random(params));
+}
+
+std::vector<std::vector<Dist>> run_batched(
+    const Csr& csr, const std::vector<VertexId>& sources,
+    const AcicConfig& config = {}, unsigned threads = 1,
+    Topology topology = Topology{1, 2, 2}) {
+  Machine machine(topology);
+  machine.set_threads(threads);
+  const Partition1D partition =
+      Partition1D::block(csr.num_vertices(), machine.num_pes());
+  AcicEngineOptions options;
+  options.sources = sources;
+  AcicEngine engine(machine, csr, partition, sources[0], config,
+                    std::move(options));
+  machine.run();
+  EXPECT_TRUE(engine.complete());
+  auto result = engine.collect();
+  EXPECT_EQ(result.lane_dist.size(), sources.size());
+  // Lane 0 doubles as the classic result slot.
+  EXPECT_EQ(result.sssp.dist, result.lane_dist[0]);
+  return std::move(result.lane_dist);
+}
+
+TEST(BatchedEngine, LanesExactlyEqualSoloRuns) {
+  for (const std::uint64_t seed : {3u, 17u}) {
+    const Csr csr = test_graph(8, seed);
+    const std::vector<VertexId> sources = {0, 7, 63, 200};
+    const auto lanes = run_batched(csr, sources);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      Machine solo(Topology{1, 2, 2});
+      const auto expected = acic::core::acic_sssp(
+          solo, csr,
+          Partition1D::block(csr.num_vertices(), solo.num_pes()),
+          sources[i], AcicConfig{});
+      EXPECT_EQ(lanes[i], expected.sssp.dist)
+          << "lane " << i << " source " << sources[i] << " seed " << seed;
+    }
+  }
+}
+
+TEST(BatchedEngine, LanesMatchDijkstraUnderThresholdConfigs) {
+  const Csr csr = test_graph(9, 5);
+  const std::vector<VertexId> sources = {1, 100, 300};
+  std::vector<std::vector<Dist>> truth;
+  truth.reserve(sources.size());
+  for (const VertexId s : sources) {
+    truth.push_back(acic::baselines::dijkstra(csr, s));
+  }
+  for (const bool use_pq : {false, true}) {
+    AcicConfig config;
+    config.use_pq = use_pq;
+    const auto lanes = run_batched(csr, sources, config);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_EQ(lanes[i], truth[i]) << "use_pq " << use_pq << " lane " << i;
+    }
+  }
+}
+
+TEST(BatchedEngine, SingleLaneBatchEqualsClassicRun) {
+  const Csr csr = test_graph(8, 11);
+  const auto lanes = run_batched(csr, {42});
+  Machine classic(Topology{1, 2, 2});
+  const auto expected = acic::core::acic_sssp(
+      classic, csr,
+      Partition1D::block(csr.num_vertices(), classic.num_pes()), 42,
+      AcicConfig{});
+  EXPECT_EQ(lanes[0], expected.sssp.dist);
+}
+
+TEST(BatchedEngine, DeterministicAcrossRuns) {
+  const Csr csr = test_graph(8, 23);
+  const std::vector<VertexId> sources = {5, 9, 120};
+  const auto a = run_batched(csr, sources);
+  const auto b = run_batched(csr, sources);
+  EXPECT_EQ(a, b);
+}
+
+// Lane payloads ride the same conservative-window parallel scheduler as
+// everything else; distances must stay exact (and bit-identical to the
+// serial schedule) with host worker threads — the TSan CI job runs this
+// suite to prove the lane plumbing adds no races.
+TEST(BatchedEngine, ExactWithHostThreads4) {
+  const Csr csr = test_graph(9, 31);
+  const std::vector<VertexId> sources = {0, 250, 400, 77};
+  const Topology topology{4, 2, 2};
+  const auto serial = run_batched(csr, sources, AcicConfig{}, 1, topology);
+  const auto parallel = run_batched(csr, sources, AcicConfig{}, 4, topology);
+  EXPECT_EQ(serial, parallel);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(parallel[i], acic::baselines::dijkstra(csr, sources[i]))
+        << "lane " << i;
+  }
+}
+
+}  // namespace

@@ -26,7 +26,7 @@ using acic::graph::Partition1D;
 using acic::runtime::Machine;
 using acic::runtime::Topology;
 using acic::server::DistanceCache;
-using acic::server::QueryArrival;
+using acic::server::Query;
 using acic::server::QueryRecord;
 using acic::server::QueryService;
 using acic::server::ServiceConfig;
@@ -66,7 +66,7 @@ TEST(Workload, RespectsSourceUniverse) {
   config.source_universe = 5;
   const auto stream = acic::server::generate_workload(config, 1u << 20);
   std::set<acic::graph::VertexId> sources;
-  for (const QueryArrival& q : stream) sources.insert(q.source);
+  for (const Query& q : stream) sources.insert(q.source);
   EXPECT_LE(sources.size(), 5u);
   EXPECT_GE(sources.size(), 2u);  // Zipf 0.9 is skewed, not degenerate
 }
@@ -78,7 +78,7 @@ TEST(Workload, ZipfHeadDominates) {
   config.zipf_exponent = 1.2;
   const auto stream = acic::server::generate_workload(config, 4096);
   std::map<acic::graph::VertexId, int> counts;
-  for (const QueryArrival& q : stream) ++counts[q.source];
+  for (const Query& q : stream) ++counts[q.source];
   int top = 0;
   for (const auto& [v, c] : counts) top = std::max(top, c);
   // With s=1.2 over 50 sources the top rank carries well over 1/50th.
@@ -145,7 +145,8 @@ TEST(ServiceMetrics, SummaryAggregates) {
     r.arrival_us = 100.0 * i;
     r.admit_us = r.arrival_us + 5.0;
     r.complete_us = r.arrival_us + 5.0 + 10.0 * (i + 1);
-    r.cache_hit = (i % 2 == 0);
+    r.tier = (i % 2 == 0) ? acic::server::ServeTier::kCache
+                          : acic::server::ServeTier::kEngine;
     metrics.record(r);
     metrics.sample_queue(r.arrival_us, static_cast<std::uint32_t>(i % 4),
                          static_cast<std::uint32_t>(i % 3));
@@ -167,20 +168,19 @@ struct ServiceRun {
   std::vector<QueryRecord> records;
   acic::server::ServiceSummary summary;
   std::map<std::uint64_t, std::vector<Dist>> distances;
+  std::map<std::uint64_t, Dist> p2p;
   std::uint64_t submitted = 0;
 };
 
-ServiceRun run_service(const Csr& csr, const WorkloadConfig& wl,
-                       std::uint32_t max_inflight, std::size_t cache_cap) {
+ServiceRun run_queries(const Csr& csr,
+                       const std::vector<acic::server::Query>& queries,
+                       ServiceConfig config) {
   Machine machine(Topology{1, 2, 2});
   const Partition1D partition =
       Partition1D::block(csr.num_vertices(), machine.num_pes());
-  ServiceConfig config;
-  config.max_inflight = max_inflight;
-  config.cache_capacity = cache_cap;
-  config.keep_distances = true;
+  config.retain_full_results = true;
   QueryService service(machine, csr, partition, config);
-  service.submit(acic::server::generate_workload(wl, csr.num_vertices()));
+  service.submit(queries);
   service.run();
 
   ServiceRun out;
@@ -188,10 +188,25 @@ ServiceRun run_service(const Csr& csr, const WorkloadConfig& wl,
   out.summary = service.summary();
   out.submitted = service.submitted_count();
   for (const QueryRecord& r : out.records) {
-    const auto* d = service.distances_for(r.id);
-    if (d != nullptr) out.distances[r.id] = *d;
+    const auto* result = service.result_of(r.id);
+    if (result == nullptr) continue;
+    if (r.mode == acic::server::ResultMode::kPointToPoint) {
+      out.p2p[r.id] = result->distance;
+    } else {
+      out.distances[r.id] = result->distances;
+    }
   }
   return out;
+}
+
+ServiceRun run_service(const Csr& csr, const WorkloadConfig& wl,
+                       std::uint32_t max_inflight, std::size_t cache_cap) {
+  ServiceConfig config;
+  config.max_inflight = max_inflight;
+  config.cache_capacity = cache_cap;
+  return run_queries(csr, acic::server::generate_workload(
+                              wl, csr.num_vertices()),
+                     config);
 }
 
 WorkloadConfig small_workload() {
@@ -219,7 +234,7 @@ TEST(QueryService, CompletesEveryQueryWithCorrectDistances) {
     }
     EXPECT_EQ(run.distances.at(r.id), it->second)
         << "query " << r.id << " source " << r.source
-        << (r.cache_hit ? " (cached)" : " (engine)");
+        << (r.cache_hit() ? " (cached)" : " (engine)");
   }
 }
 
@@ -236,7 +251,7 @@ TEST(QueryService, QueriesOverlapAndAdmissionBoundHolds) {
     for (std::size_t j = i + 1; j < run.records.size(); ++j) {
       const QueryRecord& a = run.records[i];
       const QueryRecord& b = run.records[j];
-      if (a.cache_hit || b.cache_hit) continue;
+      if (a.cache_hit() || b.cache_hit()) continue;
       if (a.admit_us < b.complete_us && b.admit_us < a.complete_us) {
         overlap = true;
         break;
@@ -268,7 +283,7 @@ TEST(QueryService, CachedAnswerIdenticalToFreshEngineRun) {
   ASSERT_GT(run.summary.cache_hits, 0u);
 
   for (const QueryRecord& r : run.records) {
-    if (!r.cache_hit) continue;
+    if (!r.cache_hit()) continue;
     Machine fresh(Topology{1, 2, 2});
     const auto expected = acic::core::acic_sssp(
         fresh, csr,
@@ -306,6 +321,151 @@ TEST(QueryService, QueueDepthSamplesTrackBackpressure) {
   EXPECT_GT(run.summary.mean_queue_wait_us, 0.0);
   // Tail percentiles must dominate the median under queueing.
   EXPECT_GE(run.summary.p99_latency_us, run.summary.p50_latency_us);
+}
+
+// ---- batching + point-to-point tiers -----------------------------------
+
+TEST(QueryService, BatchedDistancesExactlyEqualSoloRuns) {
+  const Csr csr = test_graph();
+  WorkloadConfig wl = small_workload();
+  wl.qps = 50000.0;        // burst arrivals: the wait queue fills,
+  wl.source_universe = 16; // so gathers find multiple distinct sources
+  ServiceConfig config;
+  config.max_inflight = 1;
+  config.cache_capacity = 0;  // every query must ride an engine pass
+  config.batching.max_batch = 4;
+  const ServiceRun run = run_queries(
+      csr, acic::server::generate_workload(wl, csr.num_vertices()),
+      config);
+
+  ASSERT_EQ(run.records.size(), run.submitted);
+  EXPECT_GT(run.summary.batches_started, 0u);
+  EXPECT_GT(run.summary.batched_queries, run.summary.batches_started);
+  std::map<acic::graph::VertexId, std::vector<Dist>> truth;
+  for (const QueryRecord& r : run.records) {
+    auto it = truth.find(r.source);
+    if (it == truth.end()) {
+      it = truth.emplace(r.source,
+                         acic::baselines::dijkstra(csr, r.source)).first;
+    }
+    // Batched lanes, like everything else, are exact — bitwise.
+    EXPECT_EQ(run.distances.at(r.id), it->second)
+        << "query " << r.id << " source " << r.source;
+  }
+}
+
+TEST(QueryService, P2pAnswersEqualFullRunDistIncludingUnreachable) {
+  // Base graph plus one appended edgeless vertex: as a target it is
+  // provably unreachable from everything else.
+  const Csr base = test_graph(7);
+  acic::graph::EdgeList list(base.num_vertices() + 1, {});
+  for (acic::graph::VertexId v = 0; v < base.num_vertices(); ++v) {
+    for (const auto& nb : base.out_neighbors(v)) {
+      list.add(v, nb.dst, nb.weight);
+    }
+  }
+  const Csr csr = Csr::from_edge_list(std::move(list));
+  const acic::graph::VertexId isolated = csr.num_vertices() - 1;
+
+  std::vector<Query> queries;
+  acic::runtime::SimTime t = 0.0;
+  std::uint64_t id = 0;
+  for (acic::graph::VertexId i = 0; i < 20; ++i) {
+    const acic::graph::VertexId s = (i * 37u + 11u) % (isolated + 1);
+    const acic::graph::VertexId tgt = (i * 101u + 3u) % (isolated + 1);
+    queries.push_back(Query::p2p(id++, t += 40.0, s, tgt));
+  }
+  queries.push_back(Query::p2p(id++, t += 40.0, 0, isolated));
+  queries.push_back(Query::p2p(id++, t += 40.0, isolated, 5));
+  queries.push_back(Query::full(id++, t += 40.0, 3));
+
+  for (const std::size_t num_landmarks : {std::size_t{0}, std::size_t{4}}) {
+    ServiceConfig config;
+    config.max_inflight = 2;
+    config.cache_capacity = 4;
+    config.landmarks.num_landmarks = num_landmarks;
+    const ServiceRun run = run_queries(csr, queries, config);
+    ASSERT_EQ(run.records.size(), queries.size());
+    if (num_landmarks > 0) {
+      EXPECT_GT(run.summary.landmark_exact + run.summary.goal_directed,
+                0u);
+    }
+    bool saw_unreachable = false;
+    for (const QueryRecord& r : run.records) {
+      if (r.mode != acic::server::ResultMode::kPointToPoint) continue;
+      const Dist expected =
+          acic::baselines::dijkstra(csr, r.source)[r.target];
+      ASSERT_TRUE(run.p2p.count(r.id)) << "query " << r.id;
+      EXPECT_EQ(run.p2p.at(r.id), expected)
+          << "query " << r.id << " (" << r.source << " -> " << r.target
+          << ") with " << num_landmarks << " landmarks";
+      saw_unreachable |= expected == acic::graph::kInfDist;
+    }
+    EXPECT_TRUE(saw_unreachable);
+  }
+}
+
+TEST(QueryService, BatchingAndLandmarksPreserveDeterminism) {
+  const Csr csr = test_graph();
+  WorkloadConfig wl = small_workload();
+  wl.qps = 20000.0;
+  wl.p2p_fraction = 0.4;
+  const auto queries =
+      acic::server::generate_workload(wl, csr.num_vertices());
+  ServiceConfig config;
+  config.max_inflight = 2;
+  config.cache_capacity = 4;
+  config.batching.max_batch = 3;
+  config.landmarks.num_landmarks = 4;
+  const ServiceRun a = run_queries(csr, queries, config);
+  const ServiceRun b = run_queries(csr, queries, config);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].id, b.records[i].id);
+    EXPECT_EQ(a.records[i].tier, b.records[i].tier);
+    const double la = a.records[i].latency_us();
+    const double lb = b.records[i].latency_us();
+    EXPECT_EQ(std::memcmp(&la, &lb, sizeof(double)), 0)
+        << "latency diverged at completion " << i;
+  }
+  EXPECT_EQ(a.p2p, b.p2p);
+  EXPECT_EQ(a.distances, b.distances);
+}
+
+TEST(Workload, P2pFractionSamplesTargetsAndFirstIdOffsets) {
+  WorkloadConfig wl = small_workload();
+  wl.num_queries = 200;
+  wl.p2p_fraction = 0.5;
+  wl.first_id = 1000;
+  const auto stream = acic::server::generate_workload(wl, 256);
+  ASSERT_EQ(stream.size(), 200u);
+  std::uint64_t p2p = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].id, 1000u + i);
+    if (stream[i].is_p2p()) {
+      ++p2p;
+      EXPECT_LT(stream[i].target, 256u);
+    } else {
+      EXPECT_EQ(stream[i].target, acic::graph::kInvalidVertex);
+    }
+  }
+  // ~half the stream, with generous slack for the seeded coin.
+  EXPECT_GT(p2p, 60u);
+  EXPECT_LT(p2p, 140u);
+
+  // p2p_fraction = 0 must reproduce the historical stream bit-for-bit:
+  // same ids, arrivals and sources as a pre-p2p workload.
+  WorkloadConfig plain = small_workload();
+  plain.num_queries = 200;
+  const auto classic = acic::server::generate_workload(plain, 256);
+  WorkloadConfig zero = plain;
+  zero.p2p_fraction = 0.0;
+  const auto again = acic::server::generate_workload(zero, 256);
+  ASSERT_EQ(classic.size(), again.size());
+  for (std::size_t i = 0; i < classic.size(); ++i) {
+    EXPECT_EQ(classic[i].arrival_us, again[i].arrival_us);
+    EXPECT_EQ(classic[i].source, again[i].source);
+  }
 }
 
 }  // namespace
