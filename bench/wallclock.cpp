@@ -7,19 +7,31 @@
 //
 //   ./build/bench/wallclock --scales 16,18 --trials 3
 //   ./build/bench/wallclock --scale 18 --threads 1,2,4 --trials 3
+//   ./build/bench/wallclock --scale 16 --threads 1,4 --window-mode fixed,adaptive
 //   ./build/bench/wallclock --scale 16 --reorder identity,degree_desc,bfs
 //   ./build/bench/wallclock --scale 16 --trials 3 --check BENCH_wallclock.json
 //   (--check exits 3 on a >25% events/sec regression vs the checked file)
 //
-// Per (solver, scale, reorder, threads) the harness runs `trials`
-// identical queries on fresh machines and reports best/mean wall
-// seconds, events/sec and tasks/sec (scheduler throughput), plus the
-// simulated-side invariants (sim time, update counts, an FNV-1a checksum
-// over the distance bits) that must stay bit-identical across host-side
-// optimizations — including across `--threads` values: the parallel
-// engine is required to reproduce the serial schedule exactly, and the
-// harness exits 4 (naming the diverging field and both values) if any
-// thread count or repeat trial diverges.
+// Per (solver, scale, reorder, threads, window-mode) the harness runs
+// `trials` identical queries on fresh machines and reports best/mean
+// wall seconds, events/sec and tasks/sec (scheduler throughput), plus
+// the simulated-side invariants (sim time, update counts, an FNV-1a
+// checksum over the distance bits) that must stay bit-identical across
+// host-side optimizations — including across `--threads` values and
+// across `--window-mode fixed,adaptive`: the parallel engine is
+// required to reproduce the serial schedule exactly in either mode, and
+// the harness exits 4 (naming the diverging field and both values) if
+// any thread count, window mode, or repeat trial diverges.  Host-side
+// engine diagnostics (effective thread count after the min(threads,
+// nodes) clamp, conservative window count, merge count, steals) ride
+// along per entry; adaptive mode's value shows up as a lower window
+// count at equal checksums.
+//
+// COST gate (after "COST of Graph Processing Using Actors"): every
+// config additionally reports `speedup_vs_sequential` against the tuned
+// single-thread `sequential` solver on the same (relabeled) graph, and
+// the JSON's per-scale `cost_gate` records the first configuration that
+// beats one core — or null, honestly, if none does.
 //
 // --reorder runs each solver on relabeled copies of the graph
 // (src/graph/reorder.hpp).  The permuted CSR is built *outside* the
@@ -70,6 +82,12 @@ struct Sample {
   std::uint64_t updates_created = 0;
   std::uint64_t cycles = 0;
   std::uint64_t dist_checksum = 0;
+  /// Host-side engine diagnostics — reported, never diffed: the thread
+  /// clamp, window policy, and steal schedule legitimately vary them.
+  unsigned threads_used = 1;
+  std::uint64_t windows = 0;
+  std::uint64_t window_merges = 0;
+  std::uint64_t steals = 0;
   /// Distances in *original* labels (inverse-permuted when the run used
   /// a reordered graph) — the cross-mode equality reference.
   std::vector<graph::Dist> dist;
@@ -162,7 +180,8 @@ std::vector<FieldDiff> diff_samples(const Sample& a, const Sample& b,
 /// original labels regardless of mode).
 Sample run_one(const std::string& solver, const stats::ExperimentSpec& spec,
                const graph::Csr& csr, const graph::Remap* remap,
-               std::uint32_t trials, unsigned threads) {
+               std::uint32_t trials, unsigned threads,
+               runtime::WindowMode wmode) {
   Sample sample;
   sample.wall_best_s = 1e300;
   const graph::VertexId source =
@@ -170,6 +189,7 @@ Sample run_one(const std::string& solver, const stats::ExperimentSpec& spec,
   for (std::uint32_t trial = 0; trial < trials; ++trial) {
     runtime::Machine machine(spec.topology());
     machine.set_threads(threads);
+    machine.set_window_mode(wmode);
     sssp::SolverOptions opts;
     const auto start = std::chrono::steady_clock::now();
     sssp::SolverRun run =
@@ -191,6 +211,10 @@ Sample run_one(const std::string& solver, const stats::ExperimentSpec& spec,
     now.sim_time_us = run.sssp.metrics.sim_time_us;
     now.updates_created = run.sssp.metrics.updates_created;
     now.cycles = run.telemetry.cycles;
+    now.threads_used = machine.last_threads_used();
+    now.windows = machine.total_windows();
+    now.window_merges = machine.total_window_merges();
+    now.steals = machine.total_shard_steals();
     std::vector<graph::Dist> dist =
         remap != nullptr ? remap->unmap_distances(run.sssp.dist)
                          : std::move(run.sssp.dist);
@@ -339,6 +363,25 @@ int main(int argc, char** argv) {
     threads_list =
         bench::parse_threads_list(opts.get("threads", ""), "threads");
   }
+  // Window-policy arms for the multi-threaded runs.  1-thread runs use
+  // the serial loop (no windows), so only one arm is emitted for them,
+  // labeled "serial".
+  std::vector<runtime::WindowMode> window_modes;
+  for (const std::string& name :
+       split_csv(opts.get("window-mode", "adaptive"))) {
+    if (name == "fixed") {
+      window_modes.push_back(runtime::WindowMode::kFixed);
+    } else if (name == "adaptive") {
+      window_modes.push_back(runtime::WindowMode::kAdaptive);
+    } else {
+      std::fprintf(stderr, "wallclock: unknown --window-mode '%s'\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+  if (window_modes.empty()) {
+    window_modes.push_back(runtime::WindowMode::kAdaptive);
+  }
 
   const std::vector<std::string> solvers = split_csv(solvers_csv);
   for (const std::string& solver : solvers) {
@@ -378,6 +421,7 @@ int main(int argc, char** argv) {
   const std::string pre_pr = extract_object(previous, "pre_pr");
 
   std::string results;
+  std::string cost_gate;
   std::printf("wallclock: trials=%u nodes=%u solvers=%s host_cores=%u\n",
               trials, base.nodes, solvers_csv.c_str(),
               std::thread::hardware_concurrency());
@@ -401,6 +445,36 @@ int main(int argc, char** argv) {
       }
     }
 
+    // COST baseline (per reorder mode, since relabeling changes the
+    // sequential solver's cache behaviour too): the tuned single-thread
+    // `sequential` solver on the same graph.  Every config below reports
+    // its speedup against this number.
+    std::vector<double> seq_wall(reorder_modes.size(), 0.0);
+    std::vector<graph::Dist> seq_identity_dist;
+    for (std::size_t m = 0; m < reorder_modes.size(); ++m) {
+      const Sample s =
+          run_one("sequential", spec, remaps[m] ? remaps[m]->csr() : csr,
+                  remaps[m].get(), trials, 1,
+                  runtime::WindowMode::kAdaptive);
+      seq_wall[m] = s.wall_best_s;
+      if (reorder_modes[m] == graph::ReorderMode::kIdentity) {
+        seq_identity_dist = s.dist;
+      } else if (s.dist != seq_identity_dist) {
+        std::fprintf(stderr,
+                     "wallclock: sequential baseline diverged under "
+                     "reorder=%s\n",
+                     graph::reorder_mode_name(reorder_modes[m]));
+        return 4;
+      }
+      std::printf("  %-20s %s t=1  wall=%.3fs (COST baseline)\n",
+                  "sequential", multi_mode
+                      ? graph::reorder_mode_name(reorder_modes[m]) : "",
+                  seq_wall[m]);
+    }
+    // First config in emission order that beats one core, per scale.
+    std::string first_beats;
+    double first_beats_speedup = 0.0;
+
     for (const std::string& solver : solvers) {
       std::vector<graph::Dist> identity_dist;
       for (std::size_t m = 0; m < reorder_modes.size(); ++m) {
@@ -417,7 +491,15 @@ int main(int argc, char** argv) {
         Sample reference;
         bool have_reference = false;
         for (const unsigned threads : threads_list) {
-          Sample s = run_one(solver, spec, run_csr, remap, trials, threads);
+         for (const runtime::WindowMode wmode : window_modes) {
+          // The serial loop ignores the window policy: emit one arm.
+          if (threads == 1 && wmode != window_modes.front()) continue;
+          const char* wmode_name =
+              threads == 1 ? "serial"
+              : wmode == runtime::WindowMode::kFixed ? "fixed"
+                                                     : "adaptive";
+          Sample s =
+              run_one(solver, spec, run_csr, remap, trials, threads, wmode);
           if (!have_reference) {
             reference = std::move(s);
             have_reference = true;
@@ -443,12 +525,17 @@ int main(int argc, char** argv) {
                 diff_samples(s, reference, /*compare_events=*/false);
             if (!diffs.empty()) {
               die_divergence(solver + " reorder=" + mode_name + " at " +
-                                 std::to_string(threads) +
-                                 " threads vs first thread count",
+                                 std::to_string(threads) + " threads (" +
+                                 wmode_name +
+                                 ") vs first thread count/window mode",
                              diffs);
             }
             reference.wall_best_s = s.wall_best_s;
             reference.wall_mean_s = s.wall_mean_s;
+            reference.threads_used = s.threads_used;
+            reference.windows = s.windows;
+            reference.window_merges = s.window_merges;
+            reference.steals = s.steals;
           }
           const Sample& cur = reference;
           if (threads == 1) wall_1thread = cur.wall_best_s;
@@ -467,29 +554,43 @@ int main(int argc, char** argv) {
             std::snprintf(speedup_text, sizeof(speedup_text), "n/a");
             std::snprintf(speedup_json, sizeof(speedup_json), "null");
           }
+          // The COST column: wall time against the tuned single-thread
+          // sequential solver on the same (relabeled) graph.
+          const double vs_seq = seq_wall[m] / cur.wall_best_s;
+          if (first_beats.empty() && solver != "sequential" &&
+              vs_seq > 1.0) {
+            first_beats = solver + " t=" + std::to_string(threads) + " " +
+                          wmode_name + " reorder=" + mode_name;
+            first_beats_speedup = vs_seq;
+          }
           const double events_per_sec =
               static_cast<double>(cur.events) / cur.wall_best_s;
           const double tasks_per_sec =
               static_cast<double>(cur.tasks) / cur.wall_best_s;
           std::printf(
-              "  %-20s %s t=%-2u wall=%.3fs (best of %u)  "
-              "%.3gM events/s  %.3gM tasks/s  speedup=%s  sim=%.0fus  "
-              "checksum=%016" PRIx64 "\n",
-              solver.c_str(),
-              multi_mode ? mode_name : "", threads, cur.wall_best_s,
-              trials, events_per_sec * 1e-6, tasks_per_sec * 1e-6,
-              speedup_text, cur.sim_time_us, cur.dist_checksum);
+              "  %-20s %s t=%u(eff %u) %-8s wall=%.3fs (best of %u)  "
+              "%.3gM events/s  speedup=%s  vs_seq=%.2f  windows=%llu  "
+              "sim=%.0fus  checksum=%016" PRIx64 "\n",
+              solver.c_str(), multi_mode ? mode_name : "", threads,
+              cur.threads_used, wmode_name, cur.wall_best_s, trials,
+              events_per_sec * 1e-6, speedup_text, vs_seq,
+              static_cast<unsigned long long>(cur.windows),
+              cur.sim_time_us, cur.dist_checksum);
           std::fflush(stdout);
 
-          char entry[1536];
+          char entry[2048];
           std::snprintf(
               entry, sizeof(entry),
               "    {\"solver\": \"%s\", \"scale\": %u, \"threads\": %u, "
+              "\"window_mode\": \"%s\", \"threads_effective\": %u, "
               "\"reorder\": \"%s\", "
               "\"wall_seconds_best\": %.6f, \"wall_seconds_mean\": %.6f, "
               "\"events\": %llu, \"tasks\": %llu, \"messages\": %llu, "
               "\"bytes\": %llu, \"events_per_sec\": %.1f, "
               "\"tasks_per_sec\": %.1f, \"speedup_vs_1thread\": %s, "
+              "\"speedup_vs_sequential\": %.3f, "
+              "\"windows\": %llu, \"window_merges\": %llu, "
+              "\"steals\": %llu, "
               "\"sim_time_us\": %.6f, "
               "\"updates_created\": %llu, \"cycles\": %llu, "
               "\"messages_inter_node\": %llu, "
@@ -499,12 +600,17 @@ int main(int argc, char** argv) {
               "\"messages_intra_process\": %llu, "
               "\"bytes_intra_process\": %llu, "
               "\"dist_checksum\": \"%016" PRIx64 "\"}",
-              solver.c_str(), scale, threads, mode_name, cur.wall_best_s,
+              solver.c_str(), scale, threads, wmode_name,
+              cur.threads_used, mode_name, cur.wall_best_s,
               cur.wall_mean_s, static_cast<unsigned long long>(cur.events),
               static_cast<unsigned long long>(cur.tasks),
               static_cast<unsigned long long>(cur.messages),
               static_cast<unsigned long long>(cur.bytes), events_per_sec,
-              tasks_per_sec, speedup_json, cur.sim_time_us,
+              tasks_per_sec, speedup_json, vs_seq,
+              static_cast<unsigned long long>(cur.windows),
+              static_cast<unsigned long long>(cur.window_merges),
+              static_cast<unsigned long long>(cur.steals),
+              cur.sim_time_us,
               static_cast<unsigned long long>(cur.updates_created),
               static_cast<unsigned long long>(cur.cycles),
               static_cast<unsigned long long>(tiers.messages_inter_node),
@@ -516,6 +622,7 @@ int main(int argc, char** argv) {
               cur.dist_checksum);
           if (!results.empty()) results += ",\n";
           results += entry;
+         }
         }
         if (multi_mode) {
           std::printf(
@@ -529,6 +636,32 @@ int main(int argc, char** argv) {
         }
       }
     }
+
+    // Per-scale COST verdict: name the first configuration that beat
+    // the tuned single-thread sequential solver — or admit none did.
+    char gate[768];
+    if (!first_beats.empty()) {
+      std::printf("  COST gate: first config beating sequential: %s "
+                  "(%.2fx)\n",
+                  first_beats.c_str(), first_beats_speedup);
+      std::snprintf(
+          gate, sizeof(gate),
+          "    {\"scale\": %u, \"sequential_wall_seconds\": %.6f, "
+          "\"first_config_beating_sequential\": \"%s\", "
+          "\"speedup\": %.3f}",
+          scale, seq_wall[0], first_beats.c_str(), first_beats_speedup);
+    } else {
+      std::printf("  COST gate: no config beats the sequential solver "
+                  "on this host (%u cores)\n",
+                  std::thread::hardware_concurrency());
+      std::snprintf(
+          gate, sizeof(gate),
+          "    {\"scale\": %u, \"sequential_wall_seconds\": %.6f, "
+          "\"first_config_beating_sequential\": null}",
+          scale, seq_wall[0]);
+    }
+    if (!cost_gate.empty()) cost_gate += ",\n";
+    cost_gate += gate;
   }
 
   std::string json = "{\n  \"benchmark\": \"wallclock\",\n";
@@ -539,6 +672,7 @@ int main(int argc, char** argv) {
   json += "  \"host_cores\": " +
           std::to_string(std::thread::hardware_concurrency()) + ",\n";
   if (!pre_pr.empty()) json += "  \"pre_pr\": " + pre_pr + ",\n";
+  json += "  \"cost_gate\": [\n" + cost_gate + "\n  ],\n";
   json += "  \"results\": [\n" + results + "\n  ]\n}\n";
 
   // Regression gate: compare events/sec for --check-solver at the first

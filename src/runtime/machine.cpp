@@ -1,7 +1,7 @@
 #include "src/runtime/machine.hpp"
 
 #include <algorithm>
-#include <barrier>
+#include <atomic>
 #include <thread>
 #include <utility>
 
@@ -9,6 +9,54 @@
 #include "src/util/assert.hpp"
 
 namespace acic::runtime {
+
+namespace {
+
+/// Epoch-based (sense-reversing) spin barrier with a fused completion
+/// step: the last thread to arrive runs `completion` — the per-window
+/// reduction — before releasing the others, so the reduction costs one
+/// O(parties) scan per window total instead of one per thread, and the
+/// min-combine needs no second barrier.  Waiters spin briefly then
+/// yield; on an undersubscribed host (fewer cores than workers, e.g.
+/// the single-core CI container) spinning only steals cycles from the
+/// thread everyone is waiting on, so the spin budget is zero there.
+///
+/// Memory ordering: every arriving thread's acq_rel fetch_add on
+/// `arrived_` forms a release sequence read by the last arrival, and
+/// the epoch release-store / acquire-load pair publishes the completion
+/// step's writes — so all pre-barrier writes happen-before all
+/// post-barrier reads, on every thread.  ThreadSanitizer verifies this
+/// chain in CI.
+class SpinBarrier {
+ public:
+  template <typename Fn>
+  SpinBarrier(unsigned parties, Fn&& completion)
+      : parties_(parties), completion_(std::forward<Fn>(completion)) {}
+
+  void arrive_and_wait() {
+    const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      completion_();
+      arrived_.store(0, std::memory_order_relaxed);
+      epoch_.store(epoch + 1, std::memory_order_release);
+      return;
+    }
+    int spins = spin_budget_;
+    while (epoch_.load(std::memory_order_acquire) == epoch) {
+      if (spins-- <= 0) std::this_thread::yield();
+    }
+  }
+
+ private:
+  const unsigned parties_;
+  const std::function<void()> completion_;
+  const int spin_budget_ =
+      std::thread::hardware_concurrency() >= parties_ ? 256 : 0;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace
 
 /// A cross-node arrival buffered in its sending shard's outbox until the
 /// window barrier.  Carries the seq the sender already assigned, so the
@@ -25,8 +73,9 @@ struct Machine::Mail {
 
 /// One simulated node's slice of the event loop during a parallel run:
 /// its own 4-ary heap, slot store, outgoing mailboxes and stat deltas.
-/// A shard is touched only by the host thread it is assigned to, except
-/// for `outbox[d]`, which the thread owning shard d drains strictly
+/// Within a window a shard is touched only by the host thread that
+/// claimed it (home thread or stealer — exactly one per window), except
+/// for `outbox[d]`, which the thread merging shard d drains strictly
 /// after the window barrier.
 struct alignas(64) Machine::Shard {
   std::uint32_t node = 0;
@@ -34,16 +83,40 @@ struct alignas(64) Machine::Shard {
   std::vector<Task> slots;
   std::vector<std::uint32_t> free_slots;
   /// outbox[d]: arrivals destined to node d, merged at the barrier.
+  /// Boxes keep their capacity across windows and runs (ParallelState
+  /// persists them), so steady-state merges never reallocate.
   std::vector<std::vector<Mail>> outbox;
   /// Max event time processed on this shard — the shard-local mirror of
   /// current_time_ (identical inside a task: the executing PE's clock
   /// is always >= the current event's time on both paths).
   SimTime now = 0.0;
-  /// End of the current window; cross-node pushes below it would break
-  /// the conservative lookahead (asserted).
-  SimTime window_end = 0.0;
+  /// Exclusive end of this shard's current window.  Fixed mode: global
+  /// min + lookahead for every shard.  Adaptive mode: min over OTHER
+  /// shards' minima + lookahead, and shrunk on the fly when this shard
+  /// buffers a cross-node send (a reaction to mail arriving at A cannot
+  /// land back here before A + lookahead).
+  SimTime window_limit = 0.0;
+  /// Floor other shards' windows rely on: no cross-node event created
+  /// by this shard may land before (this shard's window-start heap
+  /// minimum) + lookahead.  Sends satisfy it by the network model;
+  /// cross-node schedule_at inside it is a causality bug (asserted).
+  SimTime cross_floor = 0.0;
+  /// Inter-node latency and window mode, copied per run so the send
+  /// hot path never reaches back into the Machine.
+  SimTime lookahead = 0.0;
+  bool adaptive = false;
+  /// Set when this shard buffered cross-node mail in the current
+  /// window; ORed into the shared merge flag after the shard drains.
+  bool sent_mail = false;
   RunStats stats;
   std::int64_t ready_delta = 0;  // folded into ready_tasks_ after the run
+};
+
+/// Parallel-run scratch that outlives a single run(): shard heaps, slot
+/// stores and mailboxes keep their capacity, so a serving workload that
+/// calls run() per query batch stops paying setup/regrow per call.
+struct Machine::ParallelState {
+  std::vector<Shard> shards;
 };
 
 thread_local Machine::Shard* Machine::tls_shard_ = nullptr;
@@ -238,14 +311,25 @@ void Machine::push_arrival(SimTime time, PeId pe, Task task,
                           charge_recv ? (kRecvBit | slot) : slot});
     } else {
       // Conservative lookahead: a cross-node arrival must land at or
-      // after the window barrier.  Sends always satisfy this (inter-node
-      // transfer time >= the window width); a cross-node schedule_at
-      // inside the window would be a causality violation.
-      ACIC_ASSERT_MSG(time >= sh->window_end,
+      // after the floor other shards' windows were computed against.
+      // Sends always satisfy this (inter-node transfer time >= the
+      // lookahead, and the departure is at or after this shard's
+      // window-start minimum); a cross-node schedule_at below it would
+      // be a causality violation.
+      ACIC_ASSERT_MSG(time >= sh->cross_floor,
                       "cross-node event scheduled inside the conservative "
                       "window (use a send, or run with --threads 1)");
       sh->outbox[dest].push_back(
           Mail{time, seq, pe, charge_recv, std::move(task)});
+      sh->sent_mail = true;
+      if (sh->adaptive) {
+        // Feedback bound: a reaction to this mail cannot arrive here
+        // before its delivery plus one more inter-node hop.  Always at
+        // or ahead of the execution point (arrival >= event time +
+        // lookahead), so the shrink never invalidates executed events.
+        const SimTime feedback = time + sh->lookahead;
+        if (feedback < sh->window_limit) sh->window_limit = feedback;
+      }
     }
     return;
   }
@@ -373,6 +457,7 @@ RunStats Machine::run(SimTime time_limit) {
     return run_parallel(time_limit);
   }
   RunStats stats;
+  last_threads_used_ = 1;
   active_stats_ = &stats;
   running_ = true;
   while (!queue_.empty()) {
@@ -408,14 +493,29 @@ RunStats Machine::run_parallel(SimTime time_limit) {
   const unsigned nthreads = std::min<unsigned>(threads_, nodes);
   // Conservative lookahead: no message crosses nodes in less than the
   // inter-node wire latency (transfer_time = latency + bytes/bandwidth),
-  // so a window of exactly that width is safe.
+  // so no shard can be affected by another sooner than that.
   const SimTime lookahead = network_.latency_inter_node_us;
+  const bool adaptive = window_mode_ == WindowMode::kAdaptive;
+  last_threads_used_ = nthreads;
 
-  std::vector<Shard> shards(nodes);
+  if (par_ == nullptr) par_ = std::make_unique<ParallelState>();
+  std::vector<Shard>& shards = par_->shards;
+  if (shards.size() != nodes) {
+    shards.clear();
+    shards.resize(nodes);
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      shards[n].node = n;
+      shards[n].outbox.resize(nodes);
+    }
+  }
   for (std::uint32_t n = 0; n < nodes; ++n) {
-    shards[n].node = n;
-    shards[n].now = current_time_;
-    shards[n].outbox.resize(nodes);
+    Shard& sh = shards[n];
+    sh.now = current_time_;
+    sh.lookahead = lookahead;
+    sh.adaptive = adaptive;
+    sh.sent_mail = false;
+    sh.stats = RunStats{};
+    sh.ready_delta = 0;
   }
   // Redistribute the global heap into the per-node shards, migrating
   // parked tasks into each shard's own slot store.  Insertion order is
@@ -436,77 +536,163 @@ RunStats Machine::run_parallel(SimTime time_limit) {
     sh.heap.push(Event{e.time, e.seq, e.pe, (e.packed & kRecvBit) | slot});
   }
 
-  // Published per-thread heap minima, re-read by every thread after the
-  // barrier to agree on the window start.
-  struct alignas(64) PublishedMin {
-    SimTime value = kNoTimeLimit;
+  // --- Shared window-scheduling state -------------------------------
+  // Per-shard heap minima at the window boundary, written by the thread
+  // that merged/scanned the shard in phase A, reduced once by the
+  // barrier's completion step.
+  struct alignas(64) PaddedTime {
+    SimTime v = kNoTimeLimit;
   };
-  std::vector<PublishedMin> mins(nthreads);
-  std::barrier<> window_barrier(static_cast<std::ptrdiff_t>(nthreads));
-  bool hit_limit = false;  // written by thread 0 only, read after join
+  std::vector<PaddedTime> shard_min(nodes);
+  // The window plan every thread reads after the reduction barrier.
+  struct Plan {
+    SimTime min1 = kNoTimeLimit;  // global earliest event time
+    SimTime min2 = kNoTimeLimit;  // earliest on any shard != node1
+    std::uint32_t node1 = 0;      // shard holding min1 (lowest id on ties)
+    bool run = false;             // execute a window this round?
+    bool merge = false;           // did the previous window buffer mail?
+    bool hit_limit = false;
+  } plan;
+  std::uint64_t windows = 0;
+  std::uint64_t window_merges = 0;
+  // Phase-A claim cursor (merge + minima scan, one claimant per shard).
+  std::atomic<std::uint32_t> scan_cursor{0};
+  // Phase-B claim cursors: thread t owns shards [range[t], range[t+1]);
+  // a thread drains its own range first, then steals from the others.
+  struct alignas(64) Cursor {
+    std::atomic<std::uint32_t> pos{0};
+  };
+  std::vector<Cursor> claim(nthreads);
+  std::vector<std::uint32_t> range(nthreads + 1);
+  for (unsigned t = 0; t <= nthreads; ++t) range[t] = t * nodes / nthreads;
+  std::atomic<bool> mail_flag{false};
+  std::vector<std::uint64_t> steal_counts(nthreads, 0);
 
-  auto worker = [&](unsigned tid) {
-    const std::uint32_t lo = tid * nodes / nthreads;
-    const std::uint32_t hi = (tid + 1) * nodes / nthreads;
-    for (;;) {
-      SimTime local_min = kNoTimeLimit;
-      for (std::uint32_t s = lo; s < hi; ++s) {
-        if (!shards[s].heap.empty()) {
-          local_min = std::min(local_min, shards[s].heap.top().time);
-        }
-      }
-      mins[tid].value = local_min;
-      window_barrier.arrive_and_wait();
-      SimTime window_start = kNoTimeLimit;
-      for (unsigned t = 0; t < nthreads; ++t) {
-        window_start = std::min(window_start, mins[t].value);
-      }
-      // Every thread computes the same window, so all break together;
-      // mailboxes are empty here (drained at the previous barrier).
-      if (window_start == kNoTimeLimit || window_start > time_limit) {
-        if (tid == 0) hit_limit = window_start != kNoTimeLimit;
-        break;
-      }
-      const SimTime window_end = window_start + lookahead;
-      for (std::uint32_t s = lo; s < hi; ++s) {
-        Shard& sh = shards[s];
-        sh.window_end = window_end;
-        tls_shard_ = &sh;
-        while (!sh.heap.empty()) {
-          const Event& top = sh.heap.top();
-          if (top.time >= window_end || top.time > time_limit) break;
-          const Event e = top;
-          sh.heap.pop();
-          ++sh.stats.events_processed;
-          sh.now = std::max(sh.now, e.time);
-          if (e.is_exec()) {
-            handle_exec(e);
-          } else {
-            handle_arrival(e);
-          }
-        }
-        tls_shard_ = nullptr;
-      }
-      window_barrier.arrive_and_wait();
-      // All sends for this window are buffered; each thread merges its
-      // own shards' inboxes (every source's outbox column) into their
-      // heaps.  The composite seq keys make the merge order automatic.
-      for (std::uint32_t d = lo; d < hi; ++d) {
-        Shard& dst = shards[d];
-        tls_shard_ = &dst;
-        for (std::uint32_t src = 0; src < nodes; ++src) {
-          std::vector<Mail>& box = shards[src].outbox[d];
-          for (Mail& mail : box) {
-            const std::uint32_t slot = acquire_slot(std::move(mail.task));
-            dst.heap.push(Event{mail.time, mail.seq, mail.pe,
-                                mail.charge_recv ? (kRecvBit | slot)
-                                                 : slot});
-          }
-          box.clear();
-        }
-        tls_shard_ = nullptr;
+  // Runs on the last thread into the reduction barrier: one O(nodes)
+  // scan decides the window for everyone (min1/min2 with the arg-min
+  // shard, ties to the lowest node id — deterministic, though results
+  // never depend on it) and re-arms the phase-B claim cursors.
+  SpinBarrier window_barrier(nthreads, [&] {
+    SimTime min1 = kNoTimeLimit;
+    SimTime min2 = kNoTimeLimit;
+    std::uint32_t node1 = 0;
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      const SimTime v = shard_min[n].v;
+      if (v < min1) {
+        min2 = min1;
+        min1 = v;
+        node1 = n;
+      } else if (v < min2) {
+        min2 = v;
       }
     }
+    plan.min1 = min1;
+    plan.min2 = min2;
+    plan.node1 = node1;
+    plan.run = min1 != kNoTimeLimit && min1 <= time_limit;
+    if (min1 != kNoTimeLimit && min1 > time_limit) plan.hit_limit = true;
+    if (plan.run) ++windows;
+    for (unsigned t = 0; t < nthreads; ++t) {
+      claim[t].pos.store(range[t], std::memory_order_relaxed);
+    }
+  });
+  // Runs on the last thread out of a window: capture whether any shard
+  // buffered cross-node mail (windows without any skip the merge scan
+  // entirely) and re-arm the phase-A cursor.
+  SpinBarrier drain_barrier(nthreads, [&] {
+    plan.merge = mail_flag.exchange(false, std::memory_order_relaxed);
+    if (plan.merge) ++window_merges;
+    scan_cursor.store(0, std::memory_order_relaxed);
+  });
+
+  auto worker = [&](unsigned tid) {
+    std::uint64_t steals = 0;
+    for (;;) {
+      // Phase A: merge the previous window's mail (skipped when none
+      // was sent) and publish each shard's heap minimum.  Shards are
+      // claimed through a shared cursor; the composite seq keys make
+      // the merge order automatic regardless of who drains what.
+      for (;;) {
+        const std::uint32_t d =
+            scan_cursor.fetch_add(1, std::memory_order_relaxed);
+        if (d >= nodes) break;
+        Shard& dst = shards[d];
+        if (plan.merge) {
+          tls_shard_ = &dst;
+          for (std::uint32_t src = 0; src < nodes; ++src) {
+            std::vector<Mail>& box = shards[src].outbox[d];
+            for (Mail& mail : box) {
+              const std::uint32_t slot = acquire_slot(std::move(mail.task));
+              dst.heap.push(Event{mail.time, mail.seq, mail.pe,
+                                  mail.charge_recv ? (kRecvBit | slot)
+                                                   : slot});
+            }
+            box.clear();  // keeps capacity: boxes never regrow in steady state
+          }
+          tls_shard_ = nullptr;
+        }
+        shard_min[d].v =
+            dst.heap.empty() ? kNoTimeLimit : dst.heap.top().time;
+      }
+      window_barrier.arrive_and_wait();
+      // Every thread reads the same plan, so all break together;
+      // mailboxes are empty here (drained in phase A).
+      if (!plan.run) break;
+
+      // Phase B: claim and execute shards — own range first, then steal
+      // from whichever thread still has unclaimed shards.  Ownership
+      // migration cannot change results: a shard's event order is fully
+      // determined by its heap's (time, seq) keys, and exactly one
+      // thread runs a given shard per window.
+      for (unsigned v = 0; v < nthreads; ++v) {
+        const unsigned owner = (tid + v) % nthreads;
+        const std::uint32_t owner_hi = range[owner + 1];
+        for (;;) {
+          if (claim[owner].pos.load(std::memory_order_relaxed) >= owner_hi) {
+            break;
+          }
+          const std::uint32_t s =
+              claim[owner].pos.fetch_add(1, std::memory_order_relaxed);
+          if (s >= owner_hi) break;
+          Shard& sh = shards[s];
+          if (sh.heap.empty()) continue;
+          if (owner != tid) ++steals;
+          // Fixed window: every shard stops at min1 + lookahead.
+          // Adaptive: shard d stops at (min over OTHER shards) +
+          // lookahead — for everyone but the arg-min shard that equals
+          // the fixed bound; the arg-min shard runs on to min2 +
+          // lookahead.  Safe because no other shard can inject an event
+          // below its own minimum + lookahead, and cascades through
+          // this shard's own sends are cut off by the feedback shrink
+          // in push_arrival.
+          sh.window_limit = adaptive && s == plan.node1
+                                ? plan.min2 + lookahead
+                                : plan.min1 + lookahead;
+          sh.cross_floor = shard_min[s].v + lookahead;
+          tls_shard_ = &sh;
+          while (!sh.heap.empty()) {
+            const Event& top = sh.heap.top();
+            if (top.time >= sh.window_limit || top.time > time_limit) break;
+            const Event e = top;
+            sh.heap.pop();
+            ++sh.stats.events_processed;
+            sh.now = std::max(sh.now, e.time);
+            if (e.is_exec()) {
+              handle_exec(e);
+            } else {
+              handle_arrival(e);
+            }
+          }
+          tls_shard_ = nullptr;
+          if (sh.sent_mail) {
+            sh.sent_mail = false;
+            mail_flag.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+      drain_barrier.arrive_and_wait();
+    }
+    steal_counts[tid] = steals;
   };
 
   std::vector<std::thread> pool;
@@ -520,7 +706,16 @@ RunStats Machine::run_parallel(SimTime time_limit) {
   // Fold shard deltas back into the machine and merge unprocessed
   // events (a hit time limit) back into the global queue.
   RunStats stats;
-  stats.hit_time_limit = hit_limit;
+  stats.hit_time_limit = plan.hit_limit;
+  stats.threads_used = nthreads;
+  stats.windows = windows;
+  stats.window_merges = window_merges;
+  for (unsigned t = 0; t < nthreads; ++t) {
+    stats.shard_steals += steal_counts[t];
+  }
+  windows_ += windows;
+  window_merges_ += window_merges;
+  shard_steals_ += stats.shard_steals;
   for (Shard& sh : shards) {
     stats.tasks_executed += sh.stats.tasks_executed;
     stats.idle_polls += sh.stats.idle_polls;
@@ -545,6 +740,10 @@ RunStats Machine::run_parallel(SimTime time_limit) {
       queue_.push(
           Event{e.time, e.seq, e.pe, (e.packed & kRecvBit) | slot});
     }
+    // Every parked task has been moved out (heap drained); dropping the
+    // bookkeeping keeps the capacity for the next run.
+    sh.slots.clear();
+    sh.free_slots.clear();
   }
   stats.end_time_us = current_time_;
   return stats;

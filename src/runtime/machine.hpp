@@ -39,14 +39,26 @@
 // -----------------------------------------------------------
 // set_threads(N) with N > 1 runs the event loop with one shard (heap +
 // slot store) per simulated node, advanced in barrier-synchronized
-// conservative time windows of width latency_inter_node_us: no message
-// crosses nodes faster than that, so within a window each shard can
-// execute its own node's events independently.  Cross-node sends buffer
-// into per-(src,dst) mailboxes merged at the window barrier; because
-// events order by the composite key above, the merged interleaving is
-// bit-identical to the serial engine's at any thread count.  Runs fall
-// back to the serial loop when a registry or span hook is attached
-// (observation streams are inherently ordered), on single-node
+// conservative time windows: no message crosses nodes faster than the
+// inter-node wire latency, so within a window each shard can execute
+// its own node's events independently.  Cross-node sends buffer into
+// per-(src,dst) mailboxes merged at the window barrier; because events
+// order by the composite key above, the merged interleaving is
+// bit-identical to the serial engine's at any thread count.
+//
+// The window width is governed by set_window_mode().  kFixed stops
+// every shard at (global minimum event time) + latency_inter_node_us.
+// kAdaptive (the default) widens per shard: shard d may run to
+// (earliest event time on any OTHER shard) + latency, shrunk on the fly
+// to (earliest cross-node arrival d itself buffered this window) +
+// latency — both bounds are provably conservative (see
+// docs/performance.md for the argument), so sparse cross-node traffic
+// yields windows of hundreds of events instead of one latency sliver.
+// Shards are claimed by worker threads through per-thread cursors with
+// work stealing; ownership migration cannot perturb results because a
+// shard's event order is fixed by the (time, node, seq) keys alone.
+// Runs fall back to the serial loop when a registry or span hook is
+// attached (observation streams are inherently ordered), on single-node
 // topologies, or when the network model has no inter-node lookahead.
 //
 // Ownership discipline (per the HPC guides: message passing, no shared
@@ -90,7 +102,24 @@ using IdleHandlerId = std::uint64_t;
 inline constexpr SimTime kNoTimeLimit =
     std::numeric_limits<SimTime>::infinity();
 
+/// Window policy for the parallel engine (serial runs ignore it).
+enum class WindowMode {
+  /// Every window is exactly latency_inter_node_us wide — the original
+  /// conservative schedule.
+  kFixed,
+  /// Per-shard widening to the earliest possible cross-node arrival
+  /// (other shards' minima + latency, tightened by the shard's own
+  /// buffered sends).  Bit-identical to kFixed; strictly fewer windows.
+  kAdaptive,
+};
+
 /// Aggregate statistics for one run() invocation.
+///
+/// The first block is simulated-side and bit-identical across thread
+/// counts and window modes.  The fields after `hit_time_limit` are
+/// host-side engine diagnostics: they describe how the host executed
+/// the schedule, not the schedule itself, and legitimately vary with
+/// set_threads / set_window_mode (steals additionally vary run to run).
 struct RunStats {
   SimTime end_time_us = 0.0;
   std::uint64_t tasks_executed = 0;
@@ -101,6 +130,18 @@ struct RunStats {
   /// work, the denominator of the wall-clock benches' events/sec.
   std::uint64_t events_processed = 0;
   bool hit_time_limit = false;
+
+  /// Effective worker-thread count: run_parallel clamps the requested
+  /// set_threads value to the node count, and observed/serial runs use
+  /// 1 — this is the number a scaling claim must cite.
+  unsigned threads_used = 1;
+  /// Conservative windows executed (0 under the serial loop).
+  std::uint64_t windows = 0;
+  /// Windows whose barrier had cross-node mail to merge; the rest
+  /// skipped the merge phase entirely.
+  std::uint64_t window_merges = 0;
+  /// Shards executed by a thread other than their home thread.
+  std::uint64_t shard_steals = 0;
 };
 
 /// Per-PE execution context handed to every task and idle handler.
@@ -254,6 +295,23 @@ class Machine {
   }
   unsigned threads() const { return threads_; }
 
+  /// Window policy for parallel runs (see WindowMode).  Both modes are
+  /// bit-identical; kAdaptive (the default) executes fewer, wider
+  /// windows.  Must not be called while run() is executing.
+  void set_window_mode(WindowMode mode) { window_mode_ = mode; }
+  WindowMode window_mode() const { return window_mode_; }
+
+  /// Host-side engine diagnostics accumulated across run() calls (the
+  /// per-run values live in RunStats).  Windows/merges are deterministic
+  /// for a given (schedule, threads, mode); steals depend on host
+  /// timing.
+  std::uint64_t total_windows() const { return windows_; }
+  std::uint64_t total_window_merges() const { return window_merges_; }
+  std::uint64_t total_shard_steals() const { return shard_steals_; }
+  /// Effective worker count of the most recent run() (clamped to the
+  /// node count; 1 for serial runs).
+  unsigned last_threads_used() const { return last_threads_used_; }
+
   /// Time of the most recently processed event.
   SimTime current_time() const { return current_time_; }
 
@@ -329,9 +387,12 @@ class Machine {
   };
 
   /// One event-loop shard (heap + slot store + outgoing mailboxes +
-  /// run-stat deltas) per simulated node; exists only inside a parallel
-  /// run().  Defined in machine.cpp.
+  /// run-stat deltas) per simulated node.  Defined in machine.cpp.
   struct Shard;
+  /// Persistent parallel-run scratch (the shards and their mailbox /
+  /// slot-store capacities), reused across run() calls so steady-state
+  /// serving workloads never reallocate per window or per run.
+  struct ParallelState;
   /// A cross-node arrival buffered until the window barrier.  The seq
   /// was already assigned by the *sending* shard, so merge order is
   /// decided by the heap comparator alone.
@@ -384,6 +445,8 @@ class Machine {
   std::uint32_t current_node_ = 0;
   bool running_ = false;  // inside the serial run() loop
   unsigned threads_ = 1;
+  WindowMode window_mode_ = WindowMode::kAdaptive;
+  std::unique_ptr<ParallelState> par_;  // lazily built by run_parallel
   /// The shard the calling host thread is executing (null outside
   /// parallel run()); routes pushes/slot ops/stat updates to shard-local
   /// state.
@@ -395,6 +458,10 @@ class Machine {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t window_merges_ = 0;
+  std::uint64_t shard_steals_ = 0;
+  unsigned last_threads_used_ = 1;
   std::uint64_t ready_tasks_ = 0;  // tasks waiting in PE fifos
   RunStats* active_stats_ = nullptr;
   SpanHook span_hook_;

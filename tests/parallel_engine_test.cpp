@@ -1,11 +1,17 @@
-// Determinism contract of the parallel engine: Machine::set_threads is
-// a wall-clock knob, never a results knob.  Every registered solver
-// must produce bit-identical distances, simulated times, metrics and
-// machine totals at any thread count, and the conservative window merge
-// must break timestamp ties exactly like the serial event queue.  The
-// graph builders carry the same contract for their thread parameter.
+// Determinism contract of the parallel engine: Machine::set_threads and
+// Machine::set_window_mode are wall-clock knobs, never results knobs.
+// Every registered solver must produce bit-identical distances,
+// simulated times, metrics and machine totals at any thread count in
+// either window mode, and the conservative window merge must break
+// timestamp ties exactly like the serial event queue.  The ParallelWindow
+// suite attacks the adaptive widening rule directly: a cross-node send
+// landing exactly on the widened boundary, sparse traffic where adaptive
+// must strictly reduce window count, and a steal-heavy skewed topology.
+// The graph builders carry the same contract for their thread parameter.
 
+#include <cstdint>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -28,6 +34,15 @@ using acic::runtime::Pe;
 using acic::runtime::PeId;
 using acic::runtime::RunStats;
 using acic::runtime::Topology;
+using acic::runtime::WindowMode;
+
+/// Host-side diagnostics that legitimately vary with the engine
+/// configuration (never part of the bit-identical contract).
+struct Diag {
+  std::uint64_t windows = 0;
+  std::uint64_t steals = 0;
+  unsigned threads_used = 0;
+};
 
 /// Everything a run exposes that must be independent of the host
 /// thread count.
@@ -49,9 +64,12 @@ struct Observed {
 
 Observed run_solver_observed(const std::string& solver,
                              const acic::stats::ExperimentSpec& spec,
-                             const Csr& csr, unsigned threads) {
+                             const Csr& csr, unsigned threads,
+                             WindowMode mode = WindowMode::kAdaptive,
+                             Diag* diag = nullptr) {
   Machine machine(spec.topology());
   machine.set_threads(threads);
+  machine.set_window_mode(mode);
   acic::sssp::SolverOptions opts;
   const acic::sssp::SolverRun run =
       acic::sssp::run_solver(solver, machine, csr, spec.source, opts);
@@ -70,6 +88,11 @@ Observed run_solver_observed(const std::string& solver,
   o.pe_busy_us = run.telemetry.pe_busy_us;
   for (PeId p = 0; p < machine.num_pes(); ++p) {
     o.tasks += machine.pe_tasks_run(p);
+  }
+  if (diag != nullptr) {
+    diag->windows = machine.total_windows();
+    diag->steals = machine.total_shard_steals();
+    diag->threads_used = machine.last_threads_used();
   }
   return o;
 }
@@ -104,11 +127,32 @@ TEST(ParallelEngine, EverySolverMatchesSerialAtAnyThreadCount) {
     for (const std::string& solver : acic::sssp::solver_names()) {
       const Observed serial = run_solver_observed(solver, spec, csr, 1);
       for (const unsigned threads : {2u, 4u}) {
-        const Observed parallel =
-            run_solver_observed(solver, spec, csr, threads);
-        expect_identical(serial, parallel,
-                         solver + " seed=" + std::to_string(seed) +
-                             " threads=" + std::to_string(threads));
+        Diag fixed_diag;
+        Diag adaptive_diag;
+        for (const WindowMode mode :
+             {WindowMode::kFixed, WindowMode::kAdaptive}) {
+          const bool is_fixed = mode == WindowMode::kFixed;
+          const Observed parallel = run_solver_observed(
+              solver, spec, csr, threads, mode,
+              is_fixed ? &fixed_diag : &adaptive_diag);
+          expect_identical(serial, parallel,
+                           solver + " seed=" + std::to_string(seed) +
+                               " threads=" + std::to_string(threads) +
+                               (is_fixed ? " fixed" : " adaptive"));
+        }
+        // Adaptive widening can only merge fixed windows, never split
+        // them, so it never runs more of them.
+        EXPECT_LE(adaptive_diag.windows, fixed_diag.windows)
+            << solver << " seed=" << seed << " threads=" << threads;
+        // The sequential baseline never drives the machine, so the
+        // parallel engine (and its thread clamp) only engages for the
+        // event-driven solvers — visible as a nonzero window count.
+        if (fixed_diag.windows > 0) {
+          EXPECT_EQ(fixed_diag.threads_used, threads);
+          EXPECT_EQ(adaptive_diag.threads_used, threads);
+        } else {
+          EXPECT_EQ(solver, "sequential");
+        }
       }
     }
   }
@@ -120,9 +164,10 @@ TEST(ParallelEngine, EverySolverMatchesSerialAtAnyThreadCount) {
 // the window merge must reproduce that order exactly, not just some
 // deterministic order of its own.
 TEST(ParallelEngine, WindowMergeBreaksTimestampTiesLikeSerial) {
-  auto run_once = [](unsigned threads) {
+  auto run_once = [](unsigned threads, WindowMode mode) {
     Machine machine(Topology{4, 1, 2});
     machine.set_threads(threads);
+    machine.set_window_mode(mode);
     std::vector<int> order;
     // PEs 2..7 live on nodes 1..3; node 0 only receives.
     for (PeId p = 2; p < 8; ++p) {
@@ -139,14 +184,143 @@ TEST(ParallelEngine, WindowMergeBreaksTimestampTiesLikeSerial) {
     return std::pair(order, stats.end_time_us);
   };
 
-  const auto [serial_order, serial_end] = run_once(1);
+  const auto [serial_order, serial_end] =
+      run_once(1, WindowMode::kAdaptive);
   EXPECT_EQ(serial_order.size(), 12u);
   for (const unsigned threads : {2u, 4u}) {
-    SCOPED_TRACE(threads);
-    const auto [order, end] = run_once(threads);
+    for (const WindowMode mode :
+         {WindowMode::kFixed, WindowMode::kAdaptive}) {
+      SCOPED_TRACE(threads);
+      SCOPED_TRACE(mode == WindowMode::kFixed ? "fixed" : "adaptive");
+      const auto [order, end] = run_once(threads, mode);
+      EXPECT_EQ(order, serial_order);
+      EXPECT_EQ(end, serial_end);
+    }
+  }
+}
+
+// --- Adaptive-window suite -------------------------------------------
+
+// A cross-node send whose arrival lands *exactly* on the widened window
+// boundary.  Two nodes, one PE each, inter-node latency 4, zero
+// overheads and zero-byte messages so arrivals sit at send_time + 4
+// exactly.  PE 0 runs a(t=0) which mails node 1; node 1's handler at
+// t=4 mails a response back that lands at t=8 — exactly the feedback
+// bound a(0)'s own send imposes on shard 0 (arrival 4 + lookahead 4).
+// The correct order interleaves the response before c(t=9).  An engine
+// that widened shard 0's window by the static rule alone (other shards'
+// minima only) would run c — and anything after it — before the
+// response could land.
+TEST(ParallelWindow, CrossNodeArrivalExactlyOnWidenedBoundary) {
+  acic::runtime::NetworkModel net;
+  net.send_overhead_us = 0.0;
+  net.recv_overhead_us = 0.0;
+  net.latency_inter_node_us = 4.0;
+
+  // The response task runs on PE 0, so it can record into the same
+  // vector as the locally scheduled probes without a cross-shard write.
+  auto run_once = [&net](unsigned threads, WindowMode mode) {
+    Machine machine(Topology{2, 1, 1}, net);
+    machine.set_threads(threads);
+    machine.set_window_mode(mode);
+    std::vector<char> order;
+    machine.schedule_at(0.0, 0, [&order](Pe& pe) {
+      order.push_back('a');
+      pe.send(1, 0, [&order](Pe& peer) {
+        peer.send(0, 0, [&order](Pe&) { order.push_back('r'); });
+      });
+    });
+    machine.schedule_at(6.0, 0, [&order](Pe&) { order.push_back('b'); });
+    machine.schedule_at(9.0, 0, [&order](Pe&) { order.push_back('c'); });
+    const RunStats stats = machine.run();
+    return std::tuple(order, stats.end_time_us, machine.total_windows());
+  };
+
+  const auto [serial_order, serial_end, serial_windows] =
+      run_once(1, WindowMode::kAdaptive);
+  EXPECT_EQ(std::string(serial_order.begin(), serial_order.end()), "abrc");
+  EXPECT_EQ(serial_windows, 0u);  // serial loop runs no windows
+  for (const WindowMode mode :
+       {WindowMode::kFixed, WindowMode::kAdaptive}) {
+    SCOPED_TRACE(mode == WindowMode::kFixed ? "fixed" : "adaptive");
+    const auto [order, end, windows] = run_once(2, mode);
     EXPECT_EQ(order, serial_order);
     EXPECT_EQ(end, serial_end);
+    EXPECT_GT(windows, 0u);
   }
+}
+
+// Sparse cross-node traffic is where adaptive widening pays: node 0
+// carries a chain of local events spaced 10 simulated-us apart (far
+// wider than the 3 us lookahead) and node 1 stays silent.  Fixed mode
+// needs one window per event; adaptive covers the whole run in a
+// single window because no other shard can ever interfere.
+TEST(ParallelWindow, AdaptiveStrictlyReducesWindowsOnSparseTraffic) {
+  auto run_once = [](WindowMode mode) {
+    Machine machine(Topology{2, 1, 1});
+    machine.set_threads(2);
+    machine.set_window_mode(mode);
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+      machine.schedule_at(10.0 * i, 0,
+                          [&order, i](Pe&) { order.push_back(i); });
+    }
+    const RunStats stats = machine.run();
+    EXPECT_EQ(order.size(), 10u);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+    return std::tuple(stats.end_time_us, stats.windows,
+                      stats.window_merges);
+  };
+
+  const auto [fixed_end, fixed_windows, fixed_merges] =
+      run_once(WindowMode::kFixed);
+  const auto [adaptive_end, adaptive_windows, adaptive_merges] =
+      run_once(WindowMode::kAdaptive);
+  EXPECT_EQ(fixed_end, adaptive_end);
+  EXPECT_EQ(fixed_windows, 10u);    // one 3 us window per event
+  EXPECT_EQ(adaptive_windows, 1u);  // silent peer => unbounded widening
+  EXPECT_LT(adaptive_windows, fixed_windows);
+  // No cross-node sends anywhere: every merge phase must be skipped.
+  EXPECT_EQ(fixed_merges, 0u);
+  EXPECT_EQ(adaptive_merges, 0u);
+}
+
+// Steal-heavy shape: many more nodes than threads with a skewed R-MAT
+// degree distribution, so per-shard work within a window is uneven and
+// threads whose home ranges drain early must steal.  Results must stay
+// bit-identical to serial in both modes, and the clamp must report the
+// requested thread count (12 nodes >= 4 threads).
+TEST(ParallelWindow, StealHeavySkewedTopologyMatchesSerial) {
+  acic::stats::ExperimentSpec spec;
+  spec.graph = acic::stats::GraphKind::kRmat;
+  spec.scale = 9;
+  spec.edge_factor = 8;
+  spec.seed = 5;
+  spec.nodes = 12;
+  const Csr csr = acic::stats::build_graph(spec);
+  const Observed serial = run_solver_observed("acic", spec, csr, 1);
+  for (const WindowMode mode :
+       {WindowMode::kFixed, WindowMode::kAdaptive}) {
+    Diag diag;
+    const Observed parallel =
+        run_solver_observed("acic", spec, csr, 4, mode, &diag);
+    expect_identical(serial, parallel,
+                     mode == WindowMode::kFixed ? "fixed" : "adaptive");
+    EXPECT_EQ(diag.threads_used, 4u);
+  }
+}
+
+// The engine clamps nthreads to the node count; RunStats must report
+// the effective number, not the requested one.
+TEST(ParallelWindow, ThreadCountClampedToNodeCount) {
+  Machine machine(Topology{4, 1, 2});
+  machine.set_threads(8);
+  int ran = 0;
+  machine.schedule_at(0.0, 0, [&ran](Pe&) { ++ran; });
+  const RunStats stats = machine.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(stats.threads_used, 4u);
+  EXPECT_EQ(machine.last_threads_used(), 4u);
 }
 
 void expect_same_edges(const EdgeList& a, const EdgeList& b) {
