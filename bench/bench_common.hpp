@@ -2,6 +2,8 @@
 // Helpers shared by the figure-reproduction bench binaries: option
 // parsing into CompareSpec/ExperimentSpec, progress printing, CSV output.
 
+#include <sys/resource.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -141,6 +143,31 @@ inline void write_csv(const util::Table& table, const util::Options& opts,
   if (table.write_csv(path)) {
     std::printf("wrote %s\n", path.c_str());
   }
+}
+
+/// Process-wide resource high-water marks, for per-config reporting next
+/// to wall time.  max_rss_bytes is getrusage's peak resident set — a
+/// monotone process-lifetime number, so a harness comparing configs
+/// in-process can only attribute it to the *first* config that reached
+/// the peak; single-run tools (ooc_smoke) report it per phase honestly.
+/// major_faults counts page faults that hit storage — the out-of-core
+/// cost the prefetcher exists to hide.
+struct ResourceUsage {
+  std::uint64_t max_rss_bytes = 0;
+  std::uint64_t major_faults = 0;
+  std::uint64_t minor_faults = 0;
+};
+
+inline ResourceUsage resource_usage() {
+  ResourceUsage out;
+  struct rusage ru = {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    // Linux reports ru_maxrss in kilobytes.
+    out.max_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+    out.major_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+    out.minor_faults = static_cast<std::uint64_t>(ru.ru_minflt);
+  }
+  return out;
 }
 
 /// Shared `--trace-json PATH` / `--obs-csv PATH` handling: exports the

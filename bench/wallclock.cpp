@@ -9,8 +9,22 @@
 //   ./build/bench/wallclock --scale 18 --threads 1,2,4 --trials 3
 //   ./build/bench/wallclock --scale 16 --threads 1,4 --window-mode fixed,adaptive
 //   ./build/bench/wallclock --scale 16 --reorder identity,degree_desc,bfs
+//   ./build/bench/wallclock --scale 16 --storage mem,mmap
 //   ./build/bench/wallclock --scale 16 --trials 3 --check BENCH_wallclock.json
 //   (--check exits 3 on a >25% events/sec regression vs the checked file)
+//
+// --storage mem,mmap additionally runs every (identity-reorder) config
+// against an mmap-backed view of the same graph: the CSR is written to
+// the page-aligned on-disk format (src/graph/csr_file.hpp) once per
+// scale, opened with graph::MappedCsr, and served to the solvers with a
+// frontier-fed page prefetcher attached (src/graph/ooc_prefetch.hpp).
+// The storage backend is invisible to the simulation, so every
+// simulated-side field — checksums included — is diffed against the
+// in-memory arm and any divergence exits 4.  Each result entry reports
+// "storage" plus the process max-RSS / major-fault counters at emission
+// time (getrusage high-water marks: monotone within the process, so
+// cross-arm attribution belongs to ooc_smoke's per-process phases; the
+// numbers here are honest upper bounds).
 //
 // Per (solver, scale, reorder, threads, window-mode) the harness runs
 // `trials` identical queries on fresh machines and reports best/mean
@@ -62,6 +76,9 @@
 
 #include "bench/bench_common.hpp"
 #include "src/graph/csr.hpp"
+#include "src/graph/csr_file.hpp"
+#include "src/graph/mapped_csr.hpp"
+#include "src/graph/ooc_prefetch.hpp"
 #include "src/graph/reorder.hpp"
 #include "src/obs/registry.hpp"
 #include "src/sssp/solver.hpp"
@@ -181,7 +198,8 @@ std::vector<FieldDiff> diff_samples(const Sample& a, const Sample& b,
 Sample run_one(const std::string& solver, const stats::ExperimentSpec& spec,
                const graph::Csr& csr, const graph::Remap* remap,
                std::uint32_t trials, unsigned threads,
-               runtime::WindowMode wmode) {
+               runtime::WindowMode wmode,
+               graph::ooc::FrontierFeed* feed = nullptr) {
   Sample sample;
   sample.wall_best_s = 1e300;
   const graph::VertexId source =
@@ -191,6 +209,7 @@ Sample run_one(const std::string& solver, const stats::ExperimentSpec& spec,
     machine.set_threads(threads);
     machine.set_window_mode(wmode);
     sssp::SolverOptions opts;
+    opts.storage.frontier_feed = feed;
     const auto start = std::chrono::steady_clock::now();
     sssp::SolverRun run =
         sssp::run_solver(solver, machine, csr, source, opts);
@@ -383,6 +402,22 @@ int main(int argc, char** argv) {
     window_modes.push_back(runtime::WindowMode::kAdaptive);
   }
 
+  // Storage backends.  "mem" is the in-memory Csr the harness always
+  // built; "mmap" re-runs identity-reorder configs on a MappedCsr view
+  // of the on-disk file, prefetcher attached, diffing every simulated
+  // field against the in-memory arm.
+  std::vector<std::string> storage_modes =
+      split_csv(opts.get("storage", "mem"));
+  if (storage_modes.empty()) storage_modes.push_back("mem");
+  bool want_mmap = false;
+  for (const std::string& s : storage_modes) {
+    if (s != "mem" && s != "mmap") {
+      std::fprintf(stderr, "wallclock: unknown --storage '%s'\n", s.c_str());
+      return 2;
+    }
+    want_mmap |= s == "mmap";
+  }
+
   const std::vector<std::string> solvers = split_csv(solvers_csv);
   for (const std::string& solver : solvers) {
     if (!sssp::has_solver(solver)) {
@@ -419,6 +454,10 @@ int main(int argc, char** argv) {
 
   const std::string previous = slurp(out_path);
   const std::string pre_pr = extract_object(previous, "pre_pr");
+  // The out-of-core scale-24 record is produced by bench/ooc_smoke
+  // (separate processes; see docs/out-of-core.md) and spliced into this
+  // file; carry it forward like pre_pr so sweep reruns keep it.
+  const std::string ooc_record = extract_object(previous, "ooc_scale24");
 
   std::string results;
   std::string cost_gate;
@@ -434,6 +473,20 @@ int main(int argc, char** argv) {
     const graph::Csr csr = stats::build_graph(spec);
     std::printf("scale %u: |V|=%u |E|=%llu\n", scale, csr.num_vertices(),
                 static_cast<unsigned long long>(csr.num_edges()));
+
+    // mmap arm: write the on-disk CSR once per scale (outside every
+    // timed region) and map it for the sweep below.
+    std::string csr_file_path;
+    std::unique_ptr<graph::MappedCsr> mapped;
+    if (want_mmap) {
+      csr_file_path = out_path + ".scale" + std::to_string(scale) + ".oocsr";
+      if (!graph::write_csr_file(csr, csr_file_path)) {
+        std::fprintf(stderr, "wallclock: cannot write %s\n",
+                     csr_file_path.c_str());
+        return 2;
+      }
+      mapped = std::make_unique<graph::MappedCsr>(csr_file_path);
+    }
 
     // Relabeled copies, built once per scale outside every timed region
     // so reordered wall numbers measure the solver, not the relabel.
@@ -487,9 +540,26 @@ int main(int argc, char** argv) {
         const TierTraffic tiers =
             collect_tiers(solver, spec, run_csr, remap);
 
-        double wall_1thread = -1.0;
         Sample reference;
         bool have_reference = false;
+        for (const std::string& storage : storage_modes) {
+        const bool is_mmap = storage == "mmap";
+        // Relabeled graphs are freshly built in-memory copies by
+        // construction; the mmap arm only covers identity ordering.
+        if (is_mmap && mode != graph::ReorderMode::kIdentity) continue;
+        const graph::Csr& sweep_csr = is_mmap ? mapped->csr() : run_csr;
+        // Hint-only readahead for the mmap arm: its presence cannot
+        // change any field diffed below.
+        std::unique_ptr<graph::ooc::FrontierFeed> feed;
+        std::unique_ptr<graph::ooc::PagePrefetcher> prefetcher;
+        if (is_mmap) {
+          feed = std::make_unique<graph::ooc::FrontierFeed>();
+          prefetcher =
+              std::make_unique<graph::ooc::PagePrefetcher>(*mapped, *feed);
+        }
+        const char* storage_tag =
+            storage_modes.size() > 1 ? (is_mmap ? "mmap " : "mem  ") : "";
+        double wall_1thread = -1.0;
         for (const unsigned threads : threads_list) {
          for (const runtime::WindowMode wmode : window_modes) {
           // The serial loop ignores the window policy: emit one arm.
@@ -498,8 +568,8 @@ int main(int argc, char** argv) {
               threads == 1 ? "serial"
               : wmode == runtime::WindowMode::kFixed ? "fixed"
                                                      : "adaptive";
-          Sample s =
-              run_one(solver, spec, run_csr, remap, trials, threads, wmode);
+          Sample s = run_one(solver, spec, sweep_csr, remap, trials,
+                             threads, wmode, feed.get());
           if (!have_reference) {
             reference = std::move(s);
             have_reference = true;
@@ -524,11 +594,23 @@ int main(int argc, char** argv) {
             const auto diffs =
                 diff_samples(s, reference, /*compare_events=*/false);
             if (!diffs.empty()) {
-              die_divergence(solver + " reorder=" + mode_name + " at " +
+              die_divergence(solver + " reorder=" + mode_name +
+                                 " storage=" + storage + " at " +
                                  std::to_string(threads) + " threads (" +
                                  wmode_name +
                                  ") vs first thread count/window mode",
                              diffs);
+            }
+            // The mmap arm additionally pins elementwise distance
+            // equality (the checksum already implies it bit-for-bit;
+            // this makes the acceptance property explicit and names the
+            // first diverging vertex if it ever fails).
+            if (is_mmap && s.dist != reference.dist) {
+              std::fprintf(stderr,
+                           "wallclock: %s storage=mmap: distances "
+                           "diverged from in-memory run\n",
+                           solver.c_str());
+              std::exit(4);
             }
             reference.wall_best_s = s.wall_best_s;
             reference.wall_mean_s = s.wall_mean_s;
@@ -557,7 +639,7 @@ int main(int argc, char** argv) {
           // The COST column: wall time against the tuned single-thread
           // sequential solver on the same (relabeled) graph.
           const double vs_seq = seq_wall[m] / cur.wall_best_s;
-          if (first_beats.empty() && solver != "sequential" &&
+          if (first_beats.empty() && solver != "sequential" && !is_mmap &&
               vs_seq > 1.0) {
             first_beats = solver + " t=" + std::to_string(threads) + " " +
                           wmode_name + " reorder=" + mode_name;
@@ -568,22 +650,24 @@ int main(int argc, char** argv) {
           const double tasks_per_sec =
               static_cast<double>(cur.tasks) / cur.wall_best_s;
           std::printf(
-              "  %-20s %s t=%u(eff %u) %-8s wall=%.3fs (best of %u)  "
+              "  %-20s %s%s t=%u(eff %u) %-8s wall=%.3fs (best of %u)  "
               "%.3gM events/s  speedup=%s  vs_seq=%.2f  windows=%llu  "
               "sim=%.0fus  checksum=%016" PRIx64 "\n",
-              solver.c_str(), multi_mode ? mode_name : "", threads,
-              cur.threads_used, wmode_name, cur.wall_best_s, trials,
-              events_per_sec * 1e-6, speedup_text, vs_seq,
+              solver.c_str(), multi_mode ? mode_name : "", storage_tag,
+              threads, cur.threads_used, wmode_name, cur.wall_best_s,
+              trials, events_per_sec * 1e-6, speedup_text, vs_seq,
               static_cast<unsigned long long>(cur.windows),
               cur.sim_time_us, cur.dist_checksum);
           std::fflush(stdout);
 
+          const bench::ResourceUsage rss = bench::resource_usage();
           char entry[2048];
           std::snprintf(
               entry, sizeof(entry),
               "    {\"solver\": \"%s\", \"scale\": %u, \"threads\": %u, "
               "\"window_mode\": \"%s\", \"threads_effective\": %u, "
-              "\"reorder\": \"%s\", "
+              "\"reorder\": \"%s\", \"storage\": \"%s\", "
+              "\"max_rss_bytes\": %llu, \"major_faults\": %llu, "
               "\"wall_seconds_best\": %.6f, \"wall_seconds_mean\": %.6f, "
               "\"events\": %llu, \"tasks\": %llu, \"messages\": %llu, "
               "\"bytes\": %llu, \"events_per_sec\": %.1f, "
@@ -601,7 +685,10 @@ int main(int argc, char** argv) {
               "\"bytes_intra_process\": %llu, "
               "\"dist_checksum\": \"%016" PRIx64 "\"}",
               solver.c_str(), scale, threads, wmode_name,
-              cur.threads_used, mode_name, cur.wall_best_s,
+              cur.threads_used, mode_name, storage.c_str(),
+              static_cast<unsigned long long>(rss.max_rss_bytes),
+              static_cast<unsigned long long>(rss.major_faults),
+              cur.wall_best_s,
               cur.wall_mean_s, static_cast<unsigned long long>(cur.events),
               static_cast<unsigned long long>(cur.tasks),
               static_cast<unsigned long long>(cur.messages),
@@ -624,6 +711,7 @@ int main(int argc, char** argv) {
           results += entry;
          }
         }
+        }  // storage arms
         if (multi_mode) {
           std::printf(
               "  %-20s %s tiers: inter-node %llu msgs / %.2f MB, "
@@ -662,6 +750,11 @@ int main(int argc, char** argv) {
     }
     if (!cost_gate.empty()) cost_gate += ",\n";
     cost_gate += gate;
+
+    if (mapped != nullptr) {
+      mapped.reset();  // unmap before unlinking
+      std::remove(csr_file_path.c_str());
+    }
   }
 
   std::string json = "{\n  \"benchmark\": \"wallclock\",\n";
@@ -672,6 +765,9 @@ int main(int argc, char** argv) {
   json += "  \"host_cores\": " +
           std::to_string(std::thread::hardware_concurrency()) + ",\n";
   if (!pre_pr.empty()) json += "  \"pre_pr\": " + pre_pr + ",\n";
+  if (!ooc_record.empty()) {
+    json += "  \"ooc_scale24\": " + ooc_record + ",\n";
+  }
   json += "  \"cost_gate\": [\n" + cost_gate + "\n  ],\n";
   json += "  \"results\": [\n" + results + "\n  ]\n}\n";
 

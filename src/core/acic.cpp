@@ -8,6 +8,7 @@
 
 #include "src/core/histogram.hpp"
 #include "src/core/hold.hpp"
+#include "src/graph/ooc_prefetch.hpp"
 #include "src/runtime/collectives.hpp"
 #include "src/sssp/update.hpp"
 #include "src/tram/tram.hpp"
@@ -405,6 +406,15 @@ class AcicEngine::Impl {
     }
   }
 
+  /// Publishes a vertex whose adjacency row is about to be needed to the
+  /// out-of-core prefetcher feed, if one is attached.  Lock-free,
+  /// drop-on-full, zero simulated cost — cannot affect results.
+  void feed_frontier(VertexId v) {
+    if (config_.frontier_feed != nullptr) {
+      config_.frontier_feed->try_publish(v);
+    }
+  }
+
   /// An update arrived at the owner of its vertex (purple "process
   /// arrival" block).  Better distances are applied immediately; the
   /// expansion is deferred through pq so a still-better update can
@@ -449,6 +459,10 @@ class AcicEngine::Impl {
         config_.registry->add(obs_held_pq_, pe.id(), 1, pe.now());
       }
     }
+    // Either way this vertex's row will be walked once the update
+    // surfaces: peek point for the out-of-core page prefetcher (host
+    // side, best effort, no simulated cost).
+    feed_frontier(u.vertex);
   }
 
   /// Idle-time drain: pop improving updates in increasing distance order
@@ -812,6 +826,7 @@ class AcicEngine::Impl {
     for (const UpdateMsg& u : release_buffer) {
       pe.charge(config_.costs.pq_op_us);
       state.pq.push(u);
+      feed_frontier(u.vertex);
     }
 
     // The paper's manual flush: guarantees buffered updates eventually

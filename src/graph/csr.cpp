@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <utility>
 
 #include "src/util/assert.hpp"
 #include "src/util/parallel.hpp"
@@ -22,36 +23,118 @@ bool neighbor_less(const Neighbor& a, const Neighbor& b) {
 
 }  // namespace
 
+void Csr::adopt(std::vector<std::size_t> offsets,
+                std::vector<Neighbor> neighbors) {
+  ACIC_ASSERT(!offsets.empty());
+  offsets_storage_ = std::move(offsets);
+  neighbors_storage_ = std::move(neighbors);
+  offsets_ = offsets_storage_.data();
+  neighbors_ = neighbors_storage_.data();
+  num_vertices_ = static_cast<VertexId>(offsets_storage_.size() - 1);
+  num_edges_ = neighbors_storage_.size();
+}
+
+Csr::Csr(const Csr& other)
+    : offsets_(other.offsets_),
+      neighbors_(other.neighbors_),
+      num_vertices_(other.num_vertices_),
+      num_edges_(other.num_edges_),
+      offsets_storage_(other.offsets_storage_),
+      neighbors_storage_(other.neighbors_storage_) {
+  if (!offsets_storage_.empty()) {
+    offsets_ = offsets_storage_.data();
+    neighbors_ = neighbors_storage_.data();
+  }
+}
+
+Csr& Csr::operator=(const Csr& other) {
+  if (this != &other) {
+    Csr tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+Csr::Csr(Csr&& other) noexcept
+    : offsets_(other.offsets_),
+      neighbors_(other.neighbors_),
+      num_vertices_(other.num_vertices_),
+      num_edges_(other.num_edges_),
+      offsets_storage_(std::move(other.offsets_storage_)),
+      neighbors_storage_(std::move(other.neighbors_storage_)) {
+  if (!offsets_storage_.empty()) {
+    offsets_ = offsets_storage_.data();
+    neighbors_ = neighbors_storage_.data();
+  }
+  other.offsets_ = nullptr;
+  other.neighbors_ = nullptr;
+  other.num_vertices_ = 0;
+  other.num_edges_ = 0;
+}
+
+Csr& Csr::operator=(Csr&& other) noexcept {
+  if (this != &other) {
+    offsets_storage_ = std::move(other.offsets_storage_);
+    neighbors_storage_ = std::move(other.neighbors_storage_);
+    if (!offsets_storage_.empty()) {
+      offsets_ = offsets_storage_.data();
+      neighbors_ = neighbors_storage_.data();
+    } else {
+      offsets_ = other.offsets_;
+      neighbors_ = other.neighbors_;
+    }
+    num_vertices_ = other.num_vertices_;
+    num_edges_ = other.num_edges_;
+    other.offsets_ = nullptr;
+    other.neighbors_ = nullptr;
+    other.num_vertices_ = 0;
+    other.num_edges_ = 0;
+  }
+  return *this;
+}
+
+Csr Csr::borrow(const std::size_t* offsets, const Neighbor* neighbors,
+                VertexId num_vertices, std::size_t num_edges) {
+  ACIC_ASSERT_MSG(offsets != nullptr, "borrow: null offset array");
+  ACIC_ASSERT_MSG(offsets[0] == 0 && offsets[num_vertices] == num_edges,
+                  "borrow: malformed offset array");
+  Csr csr;
+  csr.offsets_ = offsets;
+  csr.neighbors_ = neighbors;
+  csr.num_vertices_ = num_vertices;
+  csr.num_edges_ = num_edges;
+  return csr;
+}
+
 Csr Csr::from_edge_list(const EdgeList& list, unsigned threads) {
   ACIC_ASSERT_MSG(list.endpoints_in_range(),
                   "edge endpoints must be < num_vertices");
   const VertexId n = list.num_vertices();
-  Csr csr;
-  csr.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Neighbor> neighbors;
 
   if (threads <= 1) {
     for (const Edge& e : list.edges()) {
-      ++csr.offsets_[e.src + 1];
+      ++offsets[e.src + 1];
     }
     for (std::size_t v = 1; v <= n; ++v) {
-      csr.offsets_[v] += csr.offsets_[v - 1];
+      offsets[v] += offsets[v - 1];
     }
 
-    csr.neighbors_.resize(list.num_edges());
-    std::vector<std::size_t> cursor(csr.offsets_.begin(),
-                                    csr.offsets_.end() - 1);
+    neighbors.resize(list.num_edges());
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
     for (const Edge& e : list.edges()) {
-      csr.neighbors_[cursor[e.src]++] = Neighbor{e.dst, e.weight};
+      neighbors[cursor[e.src]++] = Neighbor{e.dst, e.weight};
     }
 
     // Sort each adjacency row by destination for deterministic traversal
     // order regardless of how the generator emitted edges.
     for (VertexId v = 0; v < n; ++v) {
-      auto row = std::span<Neighbor>{
-          csr.neighbors_.data() + csr.offsets_[v],
-          csr.offsets_[v + 1] - csr.offsets_[v]};
-      std::sort(row.begin(), row.end(), neighbor_less);
+      std::sort(neighbors.begin() + offsets[v],
+                neighbors.begin() + offsets[v + 1], neighbor_less);
     }
+    Csr csr;
+    csr.adopt(std::move(offsets), std::move(neighbors));
     return csr;
   }
 
@@ -74,12 +157,11 @@ Csr Csr::from_edge_list(const EdgeList& list, unsigned threads) {
   });
 
   for (std::size_t v = 0; v < n; ++v) {
-    csr.offsets_[v + 1] =
-        csr.offsets_[v] + cursor[v].load(std::memory_order_relaxed);
-    cursor[v].store(csr.offsets_[v], std::memory_order_relaxed);
+    offsets[v + 1] = offsets[v] + cursor[v].load(std::memory_order_relaxed);
+    cursor[v].store(offsets[v], std::memory_order_relaxed);
   }
 
-  csr.neighbors_.resize(list.num_edges());
+  neighbors.resize(list.num_edges());
   util::parallel_for(num_edge_blocks, threads, [&](std::uint64_t b) {
     const std::size_t first = b * kBlock;
     const std::size_t last = std::min(first + kBlock, edges.size());
@@ -87,7 +169,7 @@ Csr Csr::from_edge_list(const EdgeList& list, unsigned threads) {
       const Edge& e = edges[i];
       const std::size_t slot =
           cursor[e.src].fetch_add(1, std::memory_order_relaxed);
-      csr.neighbors_[slot] = Neighbor{e.dst, e.weight};
+      neighbors[slot] = Neighbor{e.dst, e.weight};
     }
   });
 
@@ -98,11 +180,12 @@ Csr Csr::from_edge_list(const EdgeList& list, unsigned threads) {
     const VertexId last = static_cast<VertexId>(
         std::min<std::size_t>((b + 1) * kBlock, n));
     for (VertexId v = first; v < last; ++v) {
-      std::sort(csr.neighbors_.begin() + csr.offsets_[v],
-                csr.neighbors_.begin() + csr.offsets_[v + 1],
-                neighbor_less);
+      std::sort(neighbors.begin() + offsets[v],
+                neighbors.begin() + offsets[v + 1], neighbor_less);
     }
   });
+  Csr csr;
+  csr.adopt(std::move(offsets), std::move(neighbors));
   return csr;
 }
 
@@ -119,14 +202,13 @@ Csr Csr::permuted(const std::vector<VertexId>& perm,
     inverse[perm[v]] = v;
   }
 
-  Csr out;
-  out.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
   for (VertexId nv = 0; nv < n; ++nv) {
-    out.offsets_[nv + 1] = out.offsets_[nv] + out_degree(inverse[nv]);
+    offsets[nv + 1] = offsets[nv] + out_degree(inverse[nv]);
   }
-  ACIC_ASSERT(out.offsets_[n] == num_edges());
+  ACIC_ASSERT(offsets[n] == num_edges());
 
-  out.neighbors_.resize(num_edges());
+  std::vector<Neighbor> neighbors(num_edges());
   const std::size_t num_row_blocks =
       (static_cast<std::size_t>(n) + kBlock - 1) / kBlock;
   util::parallel_for(num_row_blocks, threads, [&](std::uint64_t b) {
@@ -135,7 +217,7 @@ Csr Csr::permuted(const std::vector<VertexId>& perm,
         static_cast<VertexId>(std::min<std::size_t>((b + 1) * kBlock, n));
     for (VertexId nv = first; nv < last; ++nv) {
       const std::span<const Neighbor> row = out_neighbors(inverse[nv]);
-      Neighbor* dst = out.neighbors_.data() + out.offsets_[nv];
+      Neighbor* dst = neighbors.data() + offsets[nv];
       for (std::size_t i = 0; i < row.size(); ++i) {
         dst[i] = Neighbor{perm[row[i].dst], row[i].weight};
       }
@@ -144,6 +226,8 @@ Csr Csr::permuted(const std::vector<VertexId>& perm,
       std::sort(dst, dst + row.size(), neighbor_less);
     }
   });
+  Csr out;
+  out.adopt(std::move(offsets), std::move(neighbors));
   return out;
 }
 
@@ -153,8 +237,7 @@ Csr Csr::from_parts(std::vector<std::size_t> offsets,
                       offsets.back() == neighbors.size(),
                   "from_parts: malformed offset array");
   Csr csr;
-  csr.offsets_ = std::move(offsets);
-  csr.neighbors_ = std::move(neighbors);
+  csr.adopt(std::move(offsets), std::move(neighbors));
 #ifndef NDEBUG
   for (VertexId v = 0; v < csr.num_vertices(); ++v) {
     ACIC_ASSERT(csr.offsets_[v] <= csr.offsets_[v + 1]);

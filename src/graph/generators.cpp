@@ -59,6 +59,87 @@ void generate_chunked(const GenParams& params, Emit&& emit) {
   });
 }
 
+/// The streaming twin: identical chunk → RNG-stream mapping, identical
+/// per-slot draws, but one chunk buffer instead of a full edge vector,
+/// with GenParams::remove_self_loops applied before each chunk is handed
+/// to `sink`.  The emitted multiset therefore equals what the
+/// materializing generator's finalize() would leave behind.
+template <typename Draw>
+void stream_chunked(const GenParams& params, const EdgeSink& sink,
+                    Draw&& draw) {
+  ACIC_ASSERT_MSG(!params.remove_duplicates,
+                  "streaming generation cannot deduplicate edges");
+  const std::uint64_t num_chunks =
+      (params.num_edges + kChunkEdges - 1) / kChunkEdges;
+  const std::uint64_t structure_seed = derive_seed(params.seed, 0);
+  const std::uint64_t weight_seed = derive_seed(params.seed, 1);
+  std::vector<Edge> chunk;
+  chunk.reserve(kChunkEdges);
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    Xoshiro256 structure_rng(derive_seed(structure_seed, c));
+    Xoshiro256 weight_rng(derive_seed(weight_seed, c));
+    const std::uint64_t first = c * kChunkEdges;
+    const std::uint64_t last =
+        std::min(first + kChunkEdges, params.num_edges);
+    chunk.clear();
+    for (std::uint64_t i = first; i < last; ++i) {
+      const Edge e = draw(structure_rng, weight_rng);
+      if (params.remove_self_loops && e.src == e.dst) continue;
+      chunk.push_back(e);
+    }
+    sink(std::span<const Edge>(chunk));
+  }
+}
+
+/// One RMAT edge: quadrant recursion with per-level probability noise.
+Edge draw_rmat_edge(Xoshiro256& structure_rng, Xoshiro256& weight_rng,
+                    const GenParams& params, const RmatParams& rmat,
+                    double d, int levels) {
+  VertexId src = 0;
+  VertexId dst = 0;
+  for (int level = 0; level < levels; ++level) {
+    // Jitter the quadrant probabilities per level (PaRMAT-style
+    // noise) so the degree distribution is power-law but not
+    // exactly fractal.
+    const double na =
+        rmat.a * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
+    const double nb =
+        rmat.b * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
+    const double nc =
+        rmat.c * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
+    const double nd =
+        d * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
+    const double total = na + nb + nc + nd;
+    const double r = structure_rng.next_double() * total;
+    src <<= 1;
+    dst <<= 1;
+    if (r < na) {
+      // top-left quadrant: no bits set
+    } else if (r < na + nb) {
+      dst |= 1;
+    } else if (r < na + nb + nc) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  // When |V| is not a power of two the recursion can address
+  // vertices past the end; fold them back uniformly.
+  if (src >= params.num_vertices) src %= params.num_vertices;
+  if (dst >= params.num_vertices) dst %= params.num_vertices;
+  return Edge{src, dst, draw_weight(weight_rng, params)};
+}
+
+Edge draw_uniform_edge(Xoshiro256& structure_rng, Xoshiro256& weight_rng,
+                       const GenParams& params) {
+  const auto src = static_cast<VertexId>(
+      structure_rng.next_below(params.num_vertices));
+  const auto dst = static_cast<VertexId>(
+      structure_rng.next_below(params.num_vertices));
+  return Edge{src, dst, draw_weight(weight_rng, params)};
+}
+
 }  // namespace
 
 EdgeList generate_rmat(const GenParams& params, const RmatParams& rmat) {
@@ -73,48 +154,27 @@ EdgeList generate_rmat(const GenParams& params, const RmatParams& rmat) {
       params,
       [&](Xoshiro256& structure_rng, Xoshiro256& weight_rng,
           std::uint64_t i) {
-        VertexId src = 0;
-        VertexId dst = 0;
-        for (int level = 0; level < levels; ++level) {
-          // Jitter the quadrant probabilities per level (PaRMAT-style
-          // noise) so the degree distribution is power-law but not
-          // exactly fractal.
-          const double na =
-              rmat.a *
-              (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
-          const double nb =
-              rmat.b *
-              (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
-          const double nc =
-              rmat.c *
-              (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
-          const double nd =
-              d * (1.0 + rmat.noise * (structure_rng.next_double() - 0.5));
-          const double total = na + nb + nc + nd;
-          const double r = structure_rng.next_double() * total;
-          src <<= 1;
-          dst <<= 1;
-          if (r < na) {
-            // top-left quadrant: no bits set
-          } else if (r < na + nb) {
-            dst |= 1;
-          } else if (r < na + nb + nc) {
-            src |= 1;
-          } else {
-            src |= 1;
-            dst |= 1;
-          }
-        }
-        // When |V| is not a power of two the recursion can address
-        // vertices past the end; fold them back uniformly.
-        if (src >= params.num_vertices) src %= params.num_vertices;
-        if (dst >= params.num_vertices) dst %= params.num_vertices;
-        edges[i] = Edge{src, dst, draw_weight(weight_rng, params)};
+        edges[i] =
+            draw_rmat_edge(structure_rng, weight_rng, params, rmat, d,
+                           levels);
       });
 
   EdgeList list(params.num_vertices, std::move(edges));
   finalize(list, params);
   return list;
+}
+
+void stream_rmat(const GenParams& params, const EdgeSink& sink,
+                 const RmatParams& rmat) {
+  ACIC_ASSERT(params.num_vertices > 0);
+  const double d = 1.0 - rmat.a - rmat.b - rmat.c;
+  ACIC_ASSERT_MSG(d > 0.0, "RMAT probabilities must sum below 1");
+  const int levels = levels_for(params.num_vertices);
+  stream_chunked(params, sink,
+                 [&](Xoshiro256& structure_rng, Xoshiro256& weight_rng) {
+                   return draw_rmat_edge(structure_rng, weight_rng,
+                                         params, rmat, d, levels);
+                 });
 }
 
 EdgeList generate_uniform_random(const GenParams& params) {
@@ -125,16 +185,21 @@ EdgeList generate_uniform_random(const GenParams& params) {
       params,
       [&](Xoshiro256& structure_rng, Xoshiro256& weight_rng,
           std::uint64_t i) {
-        const auto src = static_cast<VertexId>(
-            structure_rng.next_below(params.num_vertices));
-        const auto dst = static_cast<VertexId>(
-            structure_rng.next_below(params.num_vertices));
-        edges[i] = Edge{src, dst, draw_weight(weight_rng, params)};
+        edges[i] = draw_uniform_edge(structure_rng, weight_rng, params);
       });
 
   EdgeList list(params.num_vertices, std::move(edges));
   finalize(list, params);
   return list;
+}
+
+void stream_uniform_random(const GenParams& params, const EdgeSink& sink) {
+  ACIC_ASSERT(params.num_vertices > 0);
+  stream_chunked(params, sink,
+                 [&](Xoshiro256& structure_rng, Xoshiro256& weight_rng) {
+                   return draw_uniform_edge(structure_rng, weight_rng,
+                                            params);
+                 });
 }
 
 EdgeList generate_erdos_renyi(const GenParams& params) {

@@ -23,6 +23,8 @@
 // is a speed knob, never a workload knob.
 
 #include <cstdint>
+#include <functional>
+#include <span>
 
 #include "src/graph/edge_list.hpp"
 
@@ -61,6 +63,20 @@ EdgeList generate_rmat(const GenParams& params, const RmatParams& rmat = {});
 /// The paper's "random" workload: for each edge, origin and destination
 /// are independent uniform draws over the vertex set.
 EdgeList generate_uniform_random(const GenParams& params);
+
+/// Streaming counterparts for out-of-core builds: emit exactly the edge
+/// multiset the materializing generator would produce (same per-chunk
+/// RNG streams, GenParams::remove_self_loops applied in place;
+/// remove_duplicates is rejected — deduplication needs global state)
+/// into `sink` in bounded chunks, never holding more than one chunk in
+/// RAM.  Chunks arrive in index order on the calling thread;
+/// GenParams::threads is ignored — chunk emission order does not affect
+/// a consumer that sorts (StreamingCsrWriter), and the chunk → stream
+/// seeding already makes the multiset thread-invariant.
+using EdgeSink = std::function<void(std::span<const Edge>)>;
+void stream_rmat(const GenParams& params, const EdgeSink& sink,
+                 const RmatParams& rmat = {});
+void stream_uniform_random(const GenParams& params, const EdgeSink& sink);
 
 /// Erdős–Rényi G(n, m): m distinct edges sampled uniformly without
 /// replacement (rejection sampling on the (src, dst) pair).

@@ -1,0 +1,190 @@
+#include "src/graph/ooc_prefetch.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/obs/registry.hpp"
+#include "src/util/assert.hpp"
+
+namespace acic::graph::ooc {
+
+FrontierFeed::FrontierFeed(std::size_t capacity) {
+  std::size_t cap = 64;
+  while (cap < capacity) cap <<= 1;
+  mask_ = cap - 1;
+  cells_.reset(new Cell[cap]);
+  for (std::size_t i = 0; i < cap; ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool FrontierFeed::try_publish(VertexId v) {
+  std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const std::int64_t dif =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (dif == 0) {
+      if (tail_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        cell.value = v;
+        cell.seq.store(pos + 1, std::memory_order_release);
+        published_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // CAS lost: `pos` was reloaded, retry at the new tail.
+    } else if (dif < 0) {
+      // The slot still holds an unconsumed entry from a full lap ago:
+      // the ring is full.  Drop — publication must never block.
+      overflows_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } else {
+      pos = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool FrontierFeed::try_pop(VertexId* v) {
+  const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+  Cell& cell = cells_[pos & mask_];
+  const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+  if (seq != pos + 1) return false;  // empty or the producer is mid-write
+  *v = cell.value;
+  cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+  head_.store(pos + 1, std::memory_order_relaxed);
+  return true;
+}
+
+PagePrefetcher::PagePrefetcher(const MappedCsr& graph, FrontierFeed& feed,
+                               Options options)
+    : graph_(graph), feed_(feed), options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  recent_.assign(std::max<std::size_t>(1, options_.dedup_window),
+                 MappedCsr::ByteRange{});
+  clock_hand_ = graph_.neighbors_section().begin;
+  thread_ = std::thread([this] { run(); });
+}
+
+PagePrefetcher::~PagePrefetcher() { stop(); }
+
+void PagePrefetcher::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void PagePrefetcher::run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::size_t drained = 0;
+    VertexId v = 0;
+    while (drained < options_.max_batch && feed_.try_pop(&v)) {
+      hint_vertex(v);
+      ++drained;
+    }
+    if (options_.residency_budget_bytes > 0 &&
+        ++wakeups_since_sample_ >= options_.sample_interval) {
+      wakeups_since_sample_ = 0;
+      enforce_budget();
+    }
+    if (drained == 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.idle_sleep_us));
+    }
+  }
+  // Final drain so short runs still exercise the hint path.
+  VertexId v = 0;
+  std::size_t drained = 0;
+  while (drained < options_.max_batch && feed_.try_pop(&v)) {
+    hint_vertex(v);
+    ++drained;
+  }
+}
+
+void PagePrefetcher::hint_vertex(VertexId v) {
+  vertices_consumed_.fetch_add(1, std::memory_order_relaxed);
+  if (v >= graph_.num_vertices()) return;  // stale/garbled id: ignore
+  MappedCsr::ByteRange r = graph_.adjacency_range(v);
+  if (r.empty()) return;
+
+  // Page-align, then suppress ranges already covered by a recent hint —
+  // consecutive pq vertices usually share adjacency pages.
+  const std::uint64_t page = graph_.page_bytes();
+  r.begin = r.begin / page * page;
+  r.end = (r.end + page - 1) / page * page;
+  for (const MappedCsr::ByteRange& seen : recent_) {
+    if (!seen.empty() && r.begin >= seen.begin && r.end <= seen.end) {
+      hints_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  recent_[recent_next_] = r;
+  recent_next_ = (recent_next_ + 1) % recent_.size();
+
+  const std::size_t pages = graph_.hint_will_need(r);
+  hints_issued_.fetch_add(1, std::memory_order_relaxed);
+  pages_hinted_.fetch_add(pages, std::memory_order_relaxed);
+}
+
+void PagePrefetcher::enforce_budget() {
+  const MappedCsr::ByteRange section = graph_.neighbors_section();
+  if (section.empty()) return;
+  const MappedCsr::ResidencySample sample =
+      graph_.sample_residency(section, options_.sample_pages);
+  residency_samples_.fetch_add(1, std::memory_order_relaxed);
+  if (sample.pages_sampled == 0) return;
+
+  const std::uint64_t section_bytes = section.end - section.begin;
+  const std::uint64_t resident_estimate =
+      section_bytes * sample.pages_resident / sample.pages_sampled;
+  resident_bytes_estimate_.store(resident_estimate,
+                                 std::memory_order_relaxed);
+  if (resident_estimate <= options_.residency_budget_bytes) return;
+
+  // Clock-hand eviction: drop a budget/4 window and advance.  Dropped
+  // pages refault from the file on next touch — slower, never different.
+  const std::uint64_t window =
+      std::max<std::uint64_t>(options_.residency_budget_bytes / 4,
+                              graph_.page_bytes());
+  if (clock_hand_ < section.begin || clock_hand_ >= section.end) {
+    clock_hand_ = section.begin;
+  }
+  const std::uint64_t end =
+      std::min<std::uint64_t>(clock_hand_ + window, section.end);
+  const std::size_t dropped = graph_.drop_pages({clock_hand_, end});
+  clock_hand_ = end >= section.end ? section.begin : end;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  pages_dropped_.fetch_add(dropped, std::memory_order_relaxed);
+}
+
+PagePrefetcher::Stats PagePrefetcher::stats() const {
+  Stats s;
+  s.vertices_consumed = vertices_consumed_.load(std::memory_order_relaxed);
+  s.hints_issued = hints_issued_.load(std::memory_order_relaxed);
+  s.hints_coalesced = hints_coalesced_.load(std::memory_order_relaxed);
+  s.pages_hinted = pages_hinted_.load(std::memory_order_relaxed);
+  s.ring_overflows = feed_.overflows();
+  s.residency_samples = residency_samples_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.pages_dropped = pages_dropped_.load(std::memory_order_relaxed);
+  s.resident_bytes_estimate =
+      resident_bytes_estimate_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PagePrefetcher::publish_stats(obs::Registry& registry) const {
+  const Stats s = stats();
+  const auto put = [&registry](const char* name, std::uint64_t value) {
+    registry.add(registry.counter(name), 0, value, 0.0);
+  };
+  put("ooc/vertices_consumed", s.vertices_consumed);
+  put("ooc/hints_issued", s.hints_issued);
+  put("ooc/hints_coalesced", s.hints_coalesced);
+  put("ooc/pages_hinted", s.pages_hinted);
+  put("ooc/ring_overflows", s.ring_overflows);
+  put("ooc/residency_samples", s.residency_samples);
+  put("ooc/evictions", s.evictions);
+  put("ooc/pages_dropped", s.pages_dropped);
+  put("ooc/resident_bytes_estimate", s.resident_bytes_estimate);
+}
+
+}  // namespace acic::graph::ooc

@@ -1,0 +1,187 @@
+#pragma once
+// Frontier-fed page prefetching for mmap-backed graphs, after prefedge
+// (SNIPPETS.md, cyb3727/prefedge): the vertices sitting near the top of
+// a solver's priority structure are exactly the adjacency rows about to
+// be walked, so publishing them to a readahead thread turns the mmap
+// page faults that would stall the solver into overlapped disk reads.
+//
+// Two pieces:
+//
+//   * FrontierFeed — a bounded lock-free ring of vertex ids.  Solver
+//     threads publish at cheap peek points (ACIC pq push / hold insert /
+//     hold release, delta-stepping bucket placement) with a handful of
+//     relaxed/release atomics; when the ring is full the id is simply
+//     dropped (counted, never waited on).  Multiple producers are
+//     supported because the parallel engine's shards publish
+//     concurrently; the prefetcher is the single consumer.
+//
+//   * PagePrefetcher — a host thread draining the feed, mapping each
+//     vertex to its adjacency byte range in the MappedCsr and issuing
+//     madvise(MADV_WILLNEED) hints, with adjacent/duplicate ranges
+//     coalesced.  Optionally it also enforces a residency budget over
+//     the neighbors section: when mincore sampling estimates the
+//     resident set above the budget it MADV_DONTNEEDs a sliding window
+//     (clock hand) of the section — this is what bounds max RSS on a
+//     large-RAM host where the kernel would otherwise happily keep the
+//     whole file resident.
+//
+// Determinism: every downstream effect of this machinery is an madvise
+// on a read-only, file-backed, never-written mapping, or an mincore
+// query.  Neither can change a byte any solver reads — hints only move
+// *when* a page becomes resident, and a dropped page refaults to the
+// identical file contents.  Publication itself executes on the host
+// (never charges simulated CPU) and drops on overflow instead of
+// blocking, so checksums, sim times and simulated RunStats are
+// bit-identical with the prefetcher on, off, racing, or overflowing.
+// The feed is also harmless when no prefetcher drains it: the ring
+// fills, publications drop, the solver never notices.
+//
+// Stats are plain atomics accumulated on the prefetcher thread and
+// published to the (thread-unsafe) obs registry only after the run, via
+// publish_stats().
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/graph/mapped_csr.hpp"
+#include "src/graph/types.hpp"
+
+namespace acic::obs {
+class Registry;
+}
+
+namespace acic::graph::ooc {
+
+class FrontierFeed {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 64).
+  explicit FrontierFeed(std::size_t capacity = 1u << 12);
+
+  FrontierFeed(const FrontierFeed&) = delete;
+  FrontierFeed& operator=(const FrontierFeed&) = delete;
+
+  /// Publishes a vertex about to be processed.  Any thread; lock-free;
+  /// never blocks — returns false (and counts an overflow) when the
+  /// ring is full.
+  bool try_publish(VertexId v);
+
+  /// Pops the oldest published vertex.  Single consumer only.
+  bool try_pop(VertexId* v);
+
+  std::size_t capacity() const { return mask_ + 1; }
+  std::uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t overflows() const {
+    return overflows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Vyukov-style bounded queue cell: `seq` encodes whether the slot is
+  // free (== ticket), filled (== ticket + 1), or lapped.
+  struct Cell {
+    std::atomic<std::uint64_t> seq;
+    VertexId value;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producers
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer
+  alignas(64) std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> overflows_{0};
+};
+
+/// Knobs for PagePrefetcher (namespace scope so it can serve as a
+/// defaulted constructor argument — a nested class's field defaults are
+/// not parsed early enough for that).
+struct PagePrefetcherOptions {
+  /// Feed entries drained per wakeup before re-checking for work.
+  std::size_t max_batch = 256;
+  /// Hinted page ranges remembered for duplicate suppression.
+  std::size_t dedup_window = 8;
+  /// Microseconds slept when the feed is empty.
+  unsigned idle_sleep_us = 200;
+  /// Resident-set budget for the neighbors section, in bytes.
+  /// 0 disables eviction (hints only).  When mincore sampling
+  /// estimates residency above the budget, a window of roughly
+  /// budget/4 bytes starting at the clock hand is dropped.
+  std::uint64_t residency_budget_bytes = 0;
+  /// Wakeups between residency samples (budget mode only).
+  std::size_t sample_interval = 64;
+  /// Pages mincore-sampled per residency estimate.
+  std::size_t sample_pages = 4096;
+};
+
+class PagePrefetcher {
+ public:
+  using Options = PagePrefetcherOptions;
+
+  /// Counter snapshot; also the names published to the obs registry
+  /// (prefixed "ooc/").
+  struct Stats {
+    std::uint64_t vertices_consumed = 0;
+    std::uint64_t hints_issued = 0;
+    std::uint64_t hints_coalesced = 0;
+    std::uint64_t pages_hinted = 0;
+    std::uint64_t ring_overflows = 0;
+    std::uint64_t residency_samples = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t pages_dropped = 0;
+    /// Last mincore estimate of the neighbors section (sampled pages
+    /// scaled to the full section; 0 until the first sample).
+    std::uint64_t resident_bytes_estimate = 0;
+  };
+
+  /// The prefetcher holds references to `graph` and `feed`; both must
+  /// outlive it.  The thread starts immediately.
+  PagePrefetcher(const MappedCsr& graph, FrontierFeed& feed,
+                 Options options = {});
+  ~PagePrefetcher();
+
+  PagePrefetcher(const PagePrefetcher&) = delete;
+  PagePrefetcher& operator=(const PagePrefetcher&) = delete;
+
+  /// Stops and joins the thread; idempotent.  Called by the destructor.
+  void stop();
+
+  Stats stats() const;
+
+  /// Defines/increments the "ooc/*" counters on `registry` (entity 0,
+  /// sim time 0 — host-side work has no simulated timestamp).  Call
+  /// after the run; the registry is not thread-safe, so this must not
+  /// race with solver publication.
+  void publish_stats(obs::Registry& registry) const;
+
+ private:
+  void run();
+  void hint_vertex(VertexId v);
+  void enforce_budget();
+
+  const MappedCsr& graph_;
+  FrontierFeed& feed_;
+  Options options_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> vertices_consumed_{0};
+  std::atomic<std::uint64_t> hints_issued_{0};
+  std::atomic<std::uint64_t> hints_coalesced_{0};
+  std::atomic<std::uint64_t> pages_hinted_{0};
+  std::atomic<std::uint64_t> residency_samples_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> pages_dropped_{0};
+  std::atomic<std::uint64_t> resident_bytes_estimate_{0};
+
+  // Prefetcher-thread-private state (no concurrent access).
+  std::vector<MappedCsr::ByteRange> recent_;
+  std::size_t recent_next_ = 0;
+  std::size_t wakeups_since_sample_ = 0;
+  std::uint64_t clock_hand_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace acic::graph::ooc

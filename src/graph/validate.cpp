@@ -75,7 +75,7 @@ ValidationResult compare_distances(const std::vector<Dist>& actual,
 
 ValidationResult validate_csr(const Csr& csr, bool require_simple) {
   const VertexId n = csr.num_vertices();
-  const std::vector<std::size_t>& offsets = csr.offsets();
+  const std::span<const std::size_t> offsets = csr.offsets();
   if (offsets.empty() || offsets.front() != 0) {
     return {false, "offsets must start at 0"};
   }

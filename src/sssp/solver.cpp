@@ -51,6 +51,9 @@ SolverRun run_acic(runtime::Machine& machine, const graph::Csr& csr,
                                       machine.num_pes());
   core::AcicConfig config = opts.acic;
   if (config.registry == nullptr) config.registry = opts.registry;
+  if (config.frontier_feed == nullptr) {
+    config.frontier_feed = opts.storage.frontier_feed;
+  }
   auto run = core::acic_sssp(machine, csr, partition, source, config,
                              opts.time_limit_us);
   SolverRun out;
@@ -75,6 +78,9 @@ SolverRun run_delta(runtime::Machine& machine, const graph::Csr& csr,
                     bool two_d) {
   baselines::DeltaConfig config = opts.delta;
   config.tram = with_registry(config.tram, opts.registry);
+  if (config.frontier_feed == nullptr) {
+    config.frontier_feed = opts.storage.frontier_feed;
+  }
   baselines::DeltaRunResult run;
   if (two_d) {
     const auto partition = graph::Partition2D::squarest(csr,

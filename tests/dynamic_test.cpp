@@ -230,7 +230,7 @@ TEST(DynamicSerialize, RoundTripPreservesLogAndSnapshots) {
     EXPECT_EQ(loaded.log()[i].new_weight, graph.log()[i].new_weight);
   }
   ASSERT_EQ(loaded.num_edges(), graph.num_edges());
-  EXPECT_EQ(loaded.csr().offsets(), graph.csr().offsets());
+  EXPECT_TRUE(std::ranges::equal(loaded.csr().offsets(), graph.csr().offsets()));
   for (std::size_t i = 0; i < graph.csr().neighbors().size(); ++i) {
     EXPECT_EQ(loaded.csr().neighbors()[i].dst,
               graph.csr().neighbors()[i].dst);
@@ -251,7 +251,7 @@ TEST(DynamicSerialize, FrozenV1FormatStillLoadsBothWays) {
   // The original loader is unchanged.
   const Csr reloaded = acic::graph::load_csr(path);
   EXPECT_EQ(reloaded.num_edges(), csr.num_edges());
-  EXPECT_EQ(reloaded.offsets(), csr.offsets());
+  EXPECT_TRUE(std::ranges::equal(reloaded.offsets(), csr.offsets()));
 
   // The dynamic loader accepts v1 as an epoch-0 dynamic graph.
   DynamicGraph dyn = acic::graph::load_dynamic_graph(path);

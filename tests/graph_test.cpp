@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <set>
 
@@ -97,8 +98,8 @@ TEST(Csr, UnsortedInputProducesSameCsr) {
   b.sort_by_source();
   const Csr csr_a = Csr::from_edge_list(a);
   const Csr csr_b = Csr::from_edge_list(b);
-  EXPECT_EQ(csr_a.offsets(), csr_b.offsets());
-  EXPECT_EQ(csr_a.neighbors(), csr_b.neighbors());
+  EXPECT_TRUE(std::ranges::equal(csr_a.offsets(), csr_b.offsets()));
+  EXPECT_TRUE(std::ranges::equal(csr_a.neighbors(), csr_b.neighbors()));
 }
 
 TEST(Csr, EdgesInRange) {
@@ -530,8 +531,8 @@ TEST(Serialize, RoundTripPreservesCsr) {
   const std::string path = ::testing::TempDir() + "/acic_csr_cache.bin";
   ASSERT_TRUE(save_csr(original, path));
   const Csr loaded = load_csr(path);
-  EXPECT_EQ(loaded.offsets(), original.offsets());
-  EXPECT_EQ(loaded.neighbors(), original.neighbors());
+  EXPECT_TRUE(std::ranges::equal(loaded.offsets(), original.offsets()));
+  EXPECT_TRUE(std::ranges::equal(loaded.neighbors(), original.neighbors()));
   std::remove(path.c_str());
 }
 
@@ -549,7 +550,7 @@ TEST(Serialize, LoadOrBuildUsesCache) {
   const Csr first = load_or_build_csr(path, build);
   const Csr second = load_or_build_csr(path, build);
   EXPECT_EQ(builds, 1);  // second call hit the cache
-  EXPECT_EQ(first.neighbors(), second.neighbors());
+  EXPECT_TRUE(std::ranges::equal(first.neighbors(), second.neighbors()));
   std::remove(path.c_str());
 }
 
