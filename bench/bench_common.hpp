@@ -145,6 +145,36 @@ inline void write_csv(const util::Table& table, const util::Options& opts,
   }
 }
 
+/// One divergence between two supposedly identical runs, for the
+/// bit-identity gates (cross-thread, cross-window-mode, cross-engine-mode,
+/// cross-storage, repeat-trial): the simulated-side field that differed
+/// and both values, pre-rendered.
+struct FieldDiff {
+  const char* field;
+  std::string a;
+  std::string b;
+};
+
+/// Prints every diverging field with both values, then — so the reader
+/// of a failure knows what was deliberately NOT compared — the
+/// host-side diagnostic fields the comparison excludes (they describe
+/// how the host executed the schedule, not the schedule itself, and
+/// legitimately vary with threads / window mode / engine mode), then
+/// exits 4.
+[[noreturn]] inline void die_divergence(const std::string& context,
+                                        const std::vector<FieldDiff>& diffs) {
+  for (const FieldDiff& d : diffs) {
+    std::fprintf(stderr, "bench: %s: %s diverged (%s vs %s)\n",
+                 context.c_str(), d.field, d.a.c_str(), d.b.c_str());
+  }
+  std::fprintf(stderr,
+               "bench: host-side diagnostic fields excluded from this "
+               "comparison: threads_used, windows, window_merges, "
+               "shard_steals, speculation_rollbacks, speculation_commits, "
+               "speculated_events, replayed_events, checkpoint_bytes\n");
+  std::exit(4);
+}
+
 /// Process-wide resource high-water marks, for per-config reporting next
 /// to wall time.  max_rss_bytes is getrusage's peak resident set — a
 /// monotone process-lifetime number, so a harness comparing configs

@@ -8,6 +8,7 @@
 //   ./build/bench/wallclock --scales 16,18 --trials 3
 //   ./build/bench/wallclock --scale 18 --threads 1,2,4 --trials 3
 //   ./build/bench/wallclock --scale 16 --threads 1,4 --window-mode fixed,adaptive
+//   ./build/bench/wallclock --scale 16 --threads 1,4 --engine-mode conservative,optimistic
 //   ./build/bench/wallclock --scale 16 --reorder identity,degree_desc,bfs
 //   ./build/bench/wallclock --scale 16 --storage mem,mmap
 //   ./build/bench/wallclock --scale 16 --trials 3 --check BENCH_wallclock.json
@@ -40,6 +41,16 @@
 // nodes) clamp, conservative window count, merge count, steals) ride
 // along per entry; adaptive mode's value shows up as a lower window
 // count at equal checksums.
+//
+// --engine-mode conservative,optimistic sweeps the parallel engine's
+// execution discipline the same way --window-mode sweeps its window
+// policy: the optimistic (Time-Warp-lite) arm speculates past the
+// conservative window with checkpoint/rollback, must commit the
+// bit-identical schedule (exit 4 otherwise), and additionally reports
+// its rollback rate (rollbacks / resolved speculative epochs) and
+// speculation efficiency (fraction of speculated events kept rather
+// than rolled back and re-executed) next to the checkpoint-bytes
+// figure.  Conservative always runs first as the diff reference.
 //
 // COST gate (after "COST of Graph Processing Using Actors"): every
 // config additionally reports `speedup_vs_sequential` against the tuned
@@ -100,11 +111,18 @@ struct Sample {
   std::uint64_t cycles = 0;
   std::uint64_t dist_checksum = 0;
   /// Host-side engine diagnostics — reported, never diffed: the thread
-  /// clamp, window policy, and steal schedule legitimately vary them.
+  /// clamp, window policy, engine mode, and steal schedule legitimately
+  /// vary them.
   unsigned threads_used = 1;
   std::uint64_t windows = 0;
   std::uint64_t window_merges = 0;
   std::uint64_t steals = 0;
+  /// Optimistic-engine diagnostics (0 under conservative/serial runs).
+  std::uint64_t spec_rollbacks = 0;
+  std::uint64_t spec_commits = 0;
+  std::uint64_t spec_events = 0;
+  std::uint64_t spec_replayed = 0;
+  std::uint64_t ckpt_bytes = 0;
   /// Distances in *original* labels (inverse-permuted when the run used
   /// a reordered graph) — the cross-mode equality reference.
   std::vector<graph::Dist> dist;
@@ -126,12 +144,7 @@ std::uint64_t checksum_distances(const std::vector<graph::Dist>& dist) {
   return h;
 }
 
-/// One divergence between two supposedly identical runs.
-struct FieldDiff {
-  const char* field;
-  std::string a;
-  std::string b;
-};
+using bench::FieldDiff;
 
 std::string u64_str(std::uint64_t v) { return std::to_string(v); }
 std::string hex_str(std::uint64_t v) {
@@ -181,15 +194,10 @@ std::vector<FieldDiff> diff_samples(const Sample& a, const Sample& b,
   return diffs;
 }
 
-/// Prints every diverging field with both values, then exits 4.
-[[noreturn]] void die_divergence(const std::string& context,
-                                 const std::vector<FieldDiff>& diffs) {
-  for (const FieldDiff& d : diffs) {
-    std::fprintf(stderr, "wallclock: %s: %s diverged (%s vs %s)\n",
-                 context.c_str(), d.field, d.a.c_str(), d.b.c_str());
-  }
-  std::exit(4);
-}
+// Divergence reporting (exit 4) lives in bench_common.hpp now:
+// bench::die_divergence prints every diverging field plus the host-side
+// diagnostic fields the comparison deliberately excludes.
+using bench::die_divergence;
 
 /// Runs `trials` identical queries of `solver` on `csr` (already
 /// relabeled when `remap` is set; the source is mapped in and the
@@ -199,6 +207,7 @@ Sample run_one(const std::string& solver, const stats::ExperimentSpec& spec,
                const graph::Csr& csr, const graph::Remap* remap,
                std::uint32_t trials, unsigned threads,
                runtime::WindowMode wmode,
+               runtime::EngineMode emode = runtime::EngineMode::kConservative,
                graph::ooc::FrontierFeed* feed = nullptr) {
   Sample sample;
   sample.wall_best_s = 1e300;
@@ -209,6 +218,7 @@ Sample run_one(const std::string& solver, const stats::ExperimentSpec& spec,
     machine.set_threads(threads);
     machine.set_window_mode(wmode);
     sssp::SolverOptions opts;
+    opts.engine_mode = emode;
     opts.storage.frontier_feed = feed;
     const auto start = std::chrono::steady_clock::now();
     sssp::SolverRun run =
@@ -234,6 +244,11 @@ Sample run_one(const std::string& solver, const stats::ExperimentSpec& spec,
     now.windows = machine.total_windows();
     now.window_merges = machine.total_window_merges();
     now.steals = machine.total_shard_steals();
+    now.spec_rollbacks = machine.total_speculation_rollbacks();
+    now.spec_commits = machine.total_speculation_commits();
+    now.spec_events = machine.total_speculated_events();
+    now.spec_replayed = machine.total_replayed_events();
+    now.ckpt_bytes = machine.total_checkpoint_bytes();
     std::vector<graph::Dist> dist =
         remap != nullptr ? remap->unmap_distances(run.sssp.dist)
                          : std::move(run.sssp.dist);
@@ -402,6 +417,34 @@ int main(int argc, char** argv) {
     window_modes.push_back(runtime::WindowMode::kAdaptive);
   }
 
+  // Engine-discipline arms for the multi-threaded runs, mirroring the
+  // window-mode plumbing.  The serial loop ignores the mode, so
+  // 1-thread runs emit one arm.  Conservative always runs (first) when
+  // optimistic is requested: it is the reference every optimistic arm's
+  // simulated fields are diffed against, and it keeps the regression
+  // gate comparing conservative against conservative.
+  std::vector<runtime::EngineMode> engine_modes;
+  for (const std::string& name :
+       split_csv(opts.get("engine-mode", "conservative"))) {
+    if (name == "conservative") {
+      engine_modes.push_back(runtime::EngineMode::kConservative);
+    } else if (name == "optimistic") {
+      engine_modes.push_back(runtime::EngineMode::kOptimistic);
+    } else {
+      std::fprintf(stderr, "wallclock: unknown --engine-mode '%s'\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+  if (engine_modes.empty()) {
+    engine_modes.push_back(runtime::EngineMode::kConservative);
+  }
+  if (std::find(engine_modes.begin(), engine_modes.end(),
+                runtime::EngineMode::kConservative) == engine_modes.end()) {
+    engine_modes.insert(engine_modes.begin(),
+                        runtime::EngineMode::kConservative);
+  }
+
   // Storage backends.  "mem" is the in-memory Csr the harness always
   // built; "mmap" re-runs identity-reorder configs on a MappedCsr view
   // of the on-disk file, prefetcher attached, diffing every simulated
@@ -568,8 +611,16 @@ int main(int argc, char** argv) {
               threads == 1 ? "serial"
               : wmode == runtime::WindowMode::kFixed ? "fixed"
                                                      : "adaptive";
+         for (const runtime::EngineMode emode : engine_modes) {
+          // ... and likewise the engine discipline.
+          if (threads == 1 && emode != engine_modes.front()) continue;
+          const bool optimistic =
+              threads > 1 && emode == runtime::EngineMode::kOptimistic;
+          const char* emode_name = threads == 1 ? "serial"
+                                   : optimistic ? "optimistic"
+                                                : "conservative";
           Sample s = run_one(solver, spec, sweep_csr, remap, trials,
-                             threads, wmode, feed.get());
+                             threads, wmode, emode, feed.get());
           if (!have_reference) {
             reference = std::move(s);
             have_reference = true;
@@ -597,8 +648,9 @@ int main(int argc, char** argv) {
               die_divergence(solver + " reorder=" + mode_name +
                                  " storage=" + storage + " at " +
                                  std::to_string(threads) + " threads (" +
-                                 wmode_name +
-                                 ") vs first thread count/window mode",
+                                 wmode_name + ", " + emode_name +
+                                 ") vs first thread count/window mode/"
+                                 "engine mode",
                              diffs);
             }
             // The mmap arm additionally pins elementwise distance
@@ -618,6 +670,11 @@ int main(int argc, char** argv) {
             reference.windows = s.windows;
             reference.window_merges = s.window_merges;
             reference.steals = s.steals;
+            reference.spec_rollbacks = s.spec_rollbacks;
+            reference.spec_commits = s.spec_commits;
+            reference.spec_events = s.spec_events;
+            reference.spec_replayed = s.spec_replayed;
+            reference.ckpt_bytes = s.ckpt_bytes;
           }
           const Sample& cur = reference;
           if (threads == 1) wall_1thread = cur.wall_best_s;
@@ -641,31 +698,62 @@ int main(int argc, char** argv) {
           const double vs_seq = seq_wall[m] / cur.wall_best_s;
           if (first_beats.empty() && solver != "sequential" && !is_mmap &&
               vs_seq > 1.0) {
+            // Optimistic arms compete in emission order like every other
+            // config, so the verdict can legitimately name one.
             first_beats = solver + " t=" + std::to_string(threads) + " " +
-                          wmode_name + " reorder=" + mode_name;
+                          wmode_name +
+                          (threads == 1 ? std::string()
+                                        : " " + std::string(emode_name)) +
+                          " reorder=" + mode_name;
             first_beats_speedup = vs_seq;
           }
           const double events_per_sec =
               static_cast<double>(cur.events) / cur.wall_best_s;
           const double tasks_per_sec =
               static_cast<double>(cur.tasks) / cur.wall_best_s;
+          // Rollback rate is over resolved speculative epochs; efficiency
+          // is the fraction of speculated events that were kept (not
+          // discarded by a rollback and re-executed conservatively).
+          const std::uint64_t spec_resolved =
+              cur.spec_rollbacks + cur.spec_commits;
+          const double rollback_rate =
+              spec_resolved > 0
+                  ? static_cast<double>(cur.spec_rollbacks) /
+                        static_cast<double>(spec_resolved)
+                  : 0.0;
+          const double spec_efficiency =
+              cur.spec_events > 0
+                  ? static_cast<double>(cur.spec_events - cur.spec_replayed) /
+                        static_cast<double>(cur.spec_events)
+                  : 0.0;
+          char spec_text[96] = "";
+          if (optimistic) {
+            std::snprintf(spec_text, sizeof(spec_text),
+                          "  rollbacks=%llu/%llu  spec_eff=%.2f",
+                          static_cast<unsigned long long>(cur.spec_rollbacks),
+                          static_cast<unsigned long long>(spec_resolved),
+                          spec_efficiency);
+          }
           std::printf(
-              "  %-20s %s%s t=%u(eff %u) %-8s wall=%.3fs (best of %u)  "
+              "  %-20s %s%s%s t=%u(eff %u) %-8s wall=%.3fs (best of %u)  "
               "%.3gM events/s  speedup=%s  vs_seq=%.2f  windows=%llu  "
-              "sim=%.0fus  checksum=%016" PRIx64 "\n",
+              "sim=%.0fus  checksum=%016" PRIx64 "%s\n",
               solver.c_str(), multi_mode ? mode_name : "", storage_tag,
+              engine_modes.size() > 1 ? (optimistic ? "opt  " : "cons ")
+                                      : "",
               threads, cur.threads_used, wmode_name, cur.wall_best_s,
               trials, events_per_sec * 1e-6, speedup_text, vs_seq,
               static_cast<unsigned long long>(cur.windows),
-              cur.sim_time_us, cur.dist_checksum);
+              cur.sim_time_us, cur.dist_checksum, spec_text);
           std::fflush(stdout);
 
           const bench::ResourceUsage rss = bench::resource_usage();
-          char entry[2048];
+          char entry[2560];
           std::snprintf(
               entry, sizeof(entry),
               "    {\"solver\": \"%s\", \"scale\": %u, \"threads\": %u, "
-              "\"window_mode\": \"%s\", \"threads_effective\": %u, "
+              "\"window_mode\": \"%s\", \"engine_mode\": \"%s\", "
+              "\"threads_effective\": %u, "
               "\"reorder\": \"%s\", \"storage\": \"%s\", "
               "\"max_rss_bytes\": %llu, \"major_faults\": %llu, "
               "\"wall_seconds_best\": %.6f, \"wall_seconds_mean\": %.6f, "
@@ -675,6 +763,13 @@ int main(int argc, char** argv) {
               "\"speedup_vs_sequential\": %.3f, "
               "\"windows\": %llu, \"window_merges\": %llu, "
               "\"steals\": %llu, "
+              "\"speculation_rollbacks\": %llu, "
+              "\"speculation_commits\": %llu, "
+              "\"speculated_events\": %llu, "
+              "\"replayed_events\": %llu, "
+              "\"checkpoint_bytes\": %llu, "
+              "\"rollback_rate\": %.4f, "
+              "\"speculation_efficiency\": %.4f, "
               "\"sim_time_us\": %.6f, "
               "\"updates_created\": %llu, \"cycles\": %llu, "
               "\"messages_inter_node\": %llu, "
@@ -684,7 +779,7 @@ int main(int argc, char** argv) {
               "\"messages_intra_process\": %llu, "
               "\"bytes_intra_process\": %llu, "
               "\"dist_checksum\": \"%016" PRIx64 "\"}",
-              solver.c_str(), scale, threads, wmode_name,
+              solver.c_str(), scale, threads, wmode_name, emode_name,
               cur.threads_used, mode_name, storage.c_str(),
               static_cast<unsigned long long>(rss.max_rss_bytes),
               static_cast<unsigned long long>(rss.major_faults),
@@ -697,6 +792,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cur.windows),
               static_cast<unsigned long long>(cur.window_merges),
               static_cast<unsigned long long>(cur.steals),
+              static_cast<unsigned long long>(cur.spec_rollbacks),
+              static_cast<unsigned long long>(cur.spec_commits),
+              static_cast<unsigned long long>(cur.spec_events),
+              static_cast<unsigned long long>(cur.spec_replayed),
+              static_cast<unsigned long long>(cur.ckpt_bytes),
+              rollback_rate, spec_efficiency,
               cur.sim_time_us,
               static_cast<unsigned long long>(cur.updates_created),
               static_cast<unsigned long long>(cur.cycles),
@@ -709,7 +810,8 @@ int main(int argc, char** argv) {
               cur.dist_checksum);
           if (!results.empty()) results += ",\n";
           results += entry;
-         }
+         }  // engine modes
+         }  // window modes
         }
         }  // storage arms
         if (multi_mode) {

@@ -1,0 +1,51 @@
+#pragma once
+// Snapshotable — the hook the optimistic engine (Machine
+// EngineMode::kOptimistic, docs/performance.md "Optimistic engine")
+// uses to checkpoint and roll back application state that lives
+// *outside* the machine's own shard-local structures.
+//
+// The machine checkpoints what it owns (event heap, slot store, PE
+// scheduler state, per-node sequence counters) by itself.  But a
+// speculatively executed task also mutates solver state — ACIC distance
+// lanes, delta-stepping buckets, tram buffers, reducer cycles.  Every
+// component holding such per-node state registers a Snapshotable with
+// the machine; speculation engages only when at least one hook is
+// registered and *all* registered hooks report
+// speculation_supported() == true.  A component that cannot snapshot
+// its state registers an unsupported hook, which downgrades the whole
+// machine to the conservative schedule — safe by construction, never
+// silently wrong.
+//
+// Call protocol (all calls made with the calling thread executing the
+// given shard, i.e. only state owned by simulated node `node` may be
+// touched — the same ownership rule tasks obey):
+//   speculative_checkpoint(node)  — snapshot node-local state; returns
+//                                   an estimate of bytes copied (for
+//                                   the checkpoint_bytes diagnostic).
+//   speculative_restore(node)     — roll node-local state back to the
+//                                   snapshot (straggler detected).
+//   speculative_commit(node)      — discard the snapshot (speculation
+//                                   confirmed); state stays as-is.
+// Exactly one of restore/commit follows every checkpoint.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace acic::runtime {
+
+class Snapshotable {
+ public:
+  virtual ~Snapshotable() = default;
+
+  /// False downgrades the machine to conservative mode for the whole
+  /// run (e.g. a solver whose per-node state is too entangled to
+  /// snapshot registers an unsupported hook rather than risking a
+  /// wrong rollback).
+  virtual bool speculation_supported() const { return true; }
+
+  virtual std::size_t speculative_checkpoint(std::uint32_t node) = 0;
+  virtual void speculative_restore(std::uint32_t node) = 0;
+  virtual void speculative_commit(std::uint32_t node) = 0;
+};
+
+}  // namespace acic::runtime

@@ -151,6 +151,21 @@ TEST(SolverRegistry, AttachingRegistryDoesNotPerturbRuns) {
     const SolverRun observed =
         acic::sssp::run_solver(name, observed_machine, csr, 0, opts);
 
+    // Neutrality holds across the engine modes too: an optimistic
+    // parallel run (registry-less — an attached registry forces the
+    // serial loop) commits the same schedule the observed run saw.
+    Machine optimistic_machine(topo);
+    optimistic_machine.set_threads(2);
+    SolverOptions optimistic_opts;
+    optimistic_opts.engine_mode = acic::runtime::EngineMode::kOptimistic;
+    const SolverRun optimistic = acic::sssp::run_solver(
+        name, optimistic_machine, csr, 0, optimistic_opts);
+    ASSERT_EQ(optimistic.sssp.dist, plain.sssp.dist) << name;
+    EXPECT_DOUBLE_EQ(optimistic.sssp.metrics.sim_time_us,
+                     plain.sssp.metrics.sim_time_us)
+        << name;
+    EXPECT_EQ(optimistic.telemetry.cycles, plain.telemetry.cycles) << name;
+
     ASSERT_EQ(observed.sssp.dist.size(), plain.sssp.dist.size()) << name;
     for (std::size_t v = 0; v < plain.sssp.dist.size(); ++v) {
       ASSERT_DOUBLE_EQ(observed.sssp.dist[v], plain.sssp.dist[v])
